@@ -1,0 +1,451 @@
+//! The sequential BVRAM interpreter with exact cost accounting.
+//!
+//! Per section 2: the **parallel time complexity** `T` is the number of
+//! instructions executed (each instruction is one parallel step), and the
+//! **work complexity** `W` is the sum over executed instructions of the
+//! lengths of their input and output registers.
+
+use crate::instr::{Instr, Reg};
+use crate::program::Program;
+use std::fmt;
+
+/// A vector register value.
+pub type Vector = Vec<u64>;
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Parallel time: instructions executed.
+    pub time: u64,
+    /// Work: Σ lengths of input and output registers per instruction.
+    pub work: u64,
+    /// Largest register length observed (memory high-water mark).
+    pub max_len: usize,
+}
+
+/// Machine-level runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Elementwise op on registers of different lengths.
+    LengthMismatch {
+        /// The instruction index.
+        at: usize,
+        /// Length of the first operand.
+        a: usize,
+        /// Length of the second operand.
+        b: usize,
+    },
+    /// `bm_route`/`sbm_route` invariant violation.
+    RouteInvariant {
+        /// The instruction index.
+        at: usize,
+        /// Description of the violated invariant.
+        what: &'static str,
+    },
+    /// Arithmetic fault (division by zero / overflow).
+    Arithmetic {
+        /// The instruction index.
+        at: usize,
+    },
+    /// The program ran past its instruction budget.
+    StepLimit,
+    /// The program counter left the program without `halt`.
+    FellOffEnd,
+    /// Wrong number of input vectors supplied.
+    BadInputArity {
+        /// Expected input count.
+        expected: usize,
+        /// Provided input count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::LengthMismatch { at, a, b } => {
+                write!(f, "instr {at}: elementwise op on lengths {a} != {b}")
+            }
+            MachineError::RouteInvariant { at, what } => {
+                write!(f, "instr {at}: routing invariant violated: {what}")
+            }
+            MachineError::Arithmetic { at } => write!(f, "instr {at}: arithmetic fault"),
+            MachineError::StepLimit => write!(f, "step limit exceeded"),
+            MachineError::FellOffEnd => write!(f, "program counter fell off the end"),
+            MachineError::BadInputArity { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Result of a run: the output registers plus statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The contents of the output registers `V0 … V_{r_out-1}`.
+    pub outputs: Vec<Vector>,
+    /// Time/work statistics.
+    pub stats: Stats,
+}
+
+/// The sequential reference interpreter.
+#[derive(Debug)]
+pub struct Machine {
+    regs: Vec<Vector>,
+    step_limit: u64,
+}
+
+/// Computes `bm_route` (shared by the sequential and rayon backends and by
+/// the butterfly lowering).
+pub fn bm_route(
+    bound_len: usize,
+    counts: &[u64],
+    values: &[u64],
+) -> Result<Vector, &'static str> {
+    if counts.len() != values.len() {
+        return Err("bm_route: |counts| != |values|");
+    }
+    let total: u64 = counts.iter().sum();
+    if total != bound_len as u64 {
+        return Err("bm_route: sum(counts) != |bound|");
+    }
+    let mut out = Vec::with_capacity(bound_len);
+    for (c, v) in counts.iter().zip(values) {
+        for _ in 0..*c {
+            out.push(*v);
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `sbm_route`: replicate subsequence `i` of `(data, segs)`
+/// exactly `counts[i]` times.
+pub fn sbm_route(
+    bound_len: usize,
+    counts: &[u64],
+    data: &[u64],
+    segs: &[u64],
+) -> Result<Vector, &'static str> {
+    if counts.len() != segs.len() {
+        return Err("sbm_route: |counts| != |segs|");
+    }
+    let total: u64 = counts.iter().sum();
+    if total != bound_len as u64 {
+        return Err("sbm_route: sum(counts) != |bound|");
+    }
+    let data_total: u64 = segs.iter().sum();
+    if data_total != data.len() as u64 {
+        return Err("sbm_route: sum(segs) != |data|");
+    }
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for (c, s) in counts.iter().zip(segs) {
+        let s = *s as usize;
+        let seg = &data[pos..pos + s];
+        for _ in 0..*c {
+            out.extend_from_slice(seg);
+        }
+        pos += s;
+    }
+    Ok(out)
+}
+
+impl Machine {
+    /// A machine sized for the program, with a default step limit.
+    pub fn new(n_regs: usize) -> Self {
+        Machine {
+            regs: vec![Vec::new(); n_regs],
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the number of executed instructions (guards divergence).
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Reads a register (for tests/debugging).
+    pub fn reg(&self, r: Reg) -> &Vector {
+        &self.regs[r as usize]
+    }
+
+    /// Runs a program on the given inputs.
+    pub fn run(&mut self, prog: &Program, inputs: &[Vector]) -> Result<RunOutcome, MachineError> {
+        if inputs.len() != prog.r_in {
+            return Err(MachineError::BadInputArity {
+                expected: prog.r_in,
+                got: inputs.len(),
+            });
+        }
+        if self.regs.len() < prog.n_regs {
+            self.regs.resize(prog.n_regs, Vec::new());
+        }
+        for r in self.regs.iter_mut() {
+            r.clear();
+        }
+        for (i, v) in inputs.iter().enumerate() {
+            self.regs[i] = v.clone();
+        }
+
+        let mut stats = Stats::default();
+        let mut pc = 0usize;
+        loop {
+            if stats.time >= self.step_limit {
+                return Err(MachineError::StepLimit);
+            }
+            let Some(ins) = prog.instrs.get(pc) else {
+                return Err(MachineError::FellOffEnd);
+            };
+            stats.time += 1;
+            // Work: lengths of inputs now + output after execution.
+            let in_work: u64 = ins
+                .inputs()
+                .iter()
+                .map(|r| self.regs[*r as usize].len() as u64)
+                .sum();
+
+            let mut jumped = false;
+            match ins {
+                Instr::Move { dst, src } => {
+                    let v = self.regs[*src as usize].clone();
+                    self.regs[*dst as usize] = v;
+                }
+                Instr::Arith { dst, op, a, b } => {
+                    let (va, vb) = (&self.regs[*a as usize], &self.regs[*b as usize]);
+                    if va.len() != vb.len() {
+                        return Err(MachineError::LengthMismatch {
+                            at: pc,
+                            a: va.len(),
+                            b: vb.len(),
+                        });
+                    }
+                    let mut out = Vec::with_capacity(va.len());
+                    for (x, y) in va.iter().zip(vb) {
+                        match op.apply(*x, *y) {
+                            Some(z) => out.push(z),
+                            None => return Err(MachineError::Arithmetic { at: pc }),
+                        }
+                    }
+                    self.regs[*dst as usize] = out;
+                }
+                Instr::Empty { dst } => self.regs[*dst as usize] = Vec::new(),
+                Instr::Singleton { dst, n } => self.regs[*dst as usize] = vec![*n],
+                Instr::Append { dst, a, b } => {
+                    let mut out = self.regs[*a as usize].clone();
+                    out.extend_from_slice(&self.regs[*b as usize]);
+                    self.regs[*dst as usize] = out;
+                }
+                Instr::Length { dst, src } => {
+                    self.regs[*dst as usize] = vec![self.regs[*src as usize].len() as u64];
+                }
+                Instr::Enumerate { dst, src } => {
+                    let n = self.regs[*src as usize].len() as u64;
+                    self.regs[*dst as usize] = (0..n).collect();
+                }
+                Instr::BmRoute {
+                    dst,
+                    bound,
+                    counts,
+                    values,
+                } => {
+                    let out = bm_route(
+                        self.regs[*bound as usize].len(),
+                        &self.regs[*counts as usize],
+                        &self.regs[*values as usize],
+                    )
+                    .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                    self.regs[*dst as usize] = out;
+                }
+                Instr::SbmRoute {
+                    dst,
+                    bound,
+                    counts,
+                    data,
+                    segs,
+                } => {
+                    let out = sbm_route(
+                        self.regs[*bound as usize].len(),
+                        &self.regs[*counts as usize],
+                        &self.regs[*data as usize],
+                        &self.regs[*segs as usize],
+                    )
+                    .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                    self.regs[*dst as usize] = out;
+                }
+                Instr::Select { dst, src } => {
+                    let out: Vector = self.regs[*src as usize]
+                        .iter()
+                        .copied()
+                        .filter(|x| *x != 0)
+                        .collect();
+                    self.regs[*dst as usize] = out;
+                }
+                Instr::Goto { target } => {
+                    pc = *target as usize;
+                    jumped = true;
+                }
+                Instr::IfEmptyGoto { reg, target } => {
+                    if self.regs[*reg as usize].is_empty() {
+                        pc = *target as usize;
+                        jumped = true;
+                    }
+                }
+                Instr::Halt => {
+                    stats.work += in_work;
+                    let outputs = self.regs[..prog.r_out].to_vec();
+                    return Ok(RunOutcome { outputs, stats });
+                }
+            }
+            let out_work = ins
+                .output()
+                .map(|r| self.regs[r as usize].len() as u64)
+                .unwrap_or(0);
+            stats.work += in_work + out_work;
+            if let Some(r) = ins.output() {
+                stats.max_len = stats.max_len.max(self.regs[r as usize].len());
+            }
+            if !jumped {
+                pc += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: run a program on inputs with a fresh machine.
+pub fn run_program(prog: &Program, inputs: &[Vector]) -> Result<RunOutcome, MachineError> {
+    Machine::new(prog.n_regs).run(prog, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr::*;
+    use crate::program::Builder;
+
+    #[test]
+    fn bm_route_matches_paper_example() {
+        // bm_route with bound [x0..x4], counts [2,0,3], values [a,b,c]
+        // gives [a, a, c, c, c].
+        let out = bm_route(5, &[2, 0, 3], &[10, 20, 30]).unwrap();
+        assert_eq!(out, vec![10, 10, 30, 30, 30]);
+    }
+
+    #[test]
+    fn sbm_route_matches_paper_example() {
+        // Vj=[x0..x4], Vk=[2,0,3], Vl=[a0,a1,b0,b1,b2,c0,c1,c2], Vm=[2,3,3]
+        // => [a0,a1,a0,a1,c0,c1,c2,c0,c1,c2,c0,c1,c2]
+        let out = sbm_route(
+            5,
+            &[2, 0, 3],
+            &[1, 2, 10, 11, 12, 20, 21, 22],
+            &[2, 3, 3],
+        )
+        .unwrap();
+        assert_eq!(out, vec![1, 2, 1, 2, 20, 21, 22, 20, 21, 22, 20, 21, 22]);
+    }
+
+    #[test]
+    fn sbm_route_cartesian_product() {
+        // Singleton counts/segs: cartesian product of [5,6] and [1,2,3].
+        // bound length must be 3 (counts [3] over values nested [1,2,3]...):
+        // replicate the single subsequence [1,2,3] twice for the two x's?
+        // Cartesian [x;2] x [y;3]: counts=[2], segs=[3], bound len 2.
+        let out = sbm_route(2, &[2], &[1, 2, 3], &[3]).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_packs_nonzero() {
+        let mut b = Builder::new(1, 1);
+        b.push(Select { dst: 0, src: 0 }).push(Halt);
+        let p = b.build();
+        let out = run_program(&p, &[vec![3, 0, 1, 0, 0, 4]]).unwrap();
+        assert_eq!(out.outputs[0], vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn loop_with_jumps_halves_until_empty() {
+        // v0: strip one element per iteration using enumerate+select.
+        // body: v1 <- enumerate v0 ; v0 <- select v1 (drops the leading 0...)
+        // Simpler: count iterations of halving a counter vector:
+        // while v0 nonempty: v1 <- enumerate(v0); v0 <- select(v1) keeps
+        // nonzero indices -> length shrinks by one each round.
+        let mut b = Builder::new(1, 1);
+        b.label("loop")
+            .if_empty_goto(0, "done")
+            .push(Enumerate { dst: 1, src: 0 })
+            .push(Select { dst: 0, src: 1 })
+            .goto("loop")
+            .label("done")
+            .push(Halt);
+        let p = b.build();
+        let out = run_program(&p, &[vec![7; 5]]).unwrap();
+        assert!(out.outputs[0].is_empty());
+        // 5 iterations of 4 instrs (incl. jump) + final test + halt.
+        assert_eq!(out.stats.time, 5 * 4 + 2);
+    }
+
+    #[test]
+    fn work_counts_register_lengths() {
+        let mut b = Builder::new(2, 1);
+        b.push(Arith {
+            dst: 0,
+            op: Op::Add,
+            a: 0,
+            b: 1,
+        })
+        .push(Halt);
+        let p = b.build();
+        let out = run_program(&p, &[vec![1; 10], vec![2; 10]]).unwrap();
+        assert_eq!(out.outputs[0], vec![3; 10]);
+        // add: inputs 10+10, output 10 => 30; halt: 0.
+        assert_eq!(out.stats.work, 30);
+        assert_eq!(out.stats.time, 2);
+    }
+
+    #[test]
+    fn arith_length_mismatch_errors() {
+        let mut b = Builder::new(2, 1);
+        b.push(Arith {
+            dst: 0,
+            op: Op::Add,
+            a: 0,
+            b: 1,
+        })
+        .push(Halt);
+        let p = b.build();
+        let err = run_program(&p, &[vec![1, 2], vec![3]]).unwrap_err();
+        assert!(matches!(err, MachineError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn step_limit_guards_divergence() {
+        let mut b = Builder::new(0, 0);
+        b.label("x").goto("x");
+        let p = b.build();
+        let err = Machine::new(p.n_regs)
+            .with_step_limit(100)
+            .run(&p, &[])
+            .unwrap_err();
+        assert_eq!(err, MachineError::StepLimit);
+    }
+
+    #[test]
+    fn singleton_and_append_and_length() {
+        let mut b = Builder::new(0, 1);
+        b.push(Singleton { dst: 0, n: 5 })
+            .push(Singleton { dst: 1, n: 6 })
+            .push(Append { dst: 0, a: 0, b: 1 })
+            .push(Length { dst: 1, src: 0 })
+            .push(Append { dst: 0, a: 0, b: 1 })
+            .push(Halt);
+        let p = b.build();
+        let out = run_program(&p, &[]).unwrap();
+        assert_eq!(out.outputs[0], vec![5, 6, 2]);
+    }
+
+    use crate::instr::Op;
+}

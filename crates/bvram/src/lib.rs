@@ -1,0 +1,29 @@
+//! # bvram — the Bounded Vector Random Access Machine
+//!
+//! The target machine of Suciu & Tannen 1994 (section 2): a vector
+//! parallel model with
+//!
+//! * a **fixed number of vector registers** (no run-time vector stack —
+//!   the motivation for the paper's whole compilation strategy), and
+//! * **weak communication primitives**: monotone routing (`bm_route`,
+//!   `sbm_route`), `append`, packing selection `σ` — no general
+//!   permutation, so every instruction runs in `O(log n)` steps on a
+//!   butterfly with oblivious routing (Proposition 2.1, see the
+//!   `butterfly` crate).
+//!
+//! Cost model: `T` = instructions executed, `W` = Σ lengths of the input
+//! and output registers of each executed instruction.
+//!
+//! Backends: [`exec::Machine`] (sequential reference) and
+//! [`par::ParMachine`] (rayon, bit-for-bit identical results).
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod instr;
+pub mod par;
+pub mod program;
+
+pub use exec::{run_program, Machine, MachineError, RunOutcome, Stats, Vector};
+pub use instr::{Instr, Label, Op, Reg};
+pub use par::ParMachine;
+pub use program::{Builder, Program};

@@ -1,0 +1,355 @@
+//! A rayon-parallel execution backend for BVRAM programs.
+//!
+//! The BVRAM is an abstract SIMD machine; this backend demonstrates that
+//! compiled programs run with real parallel speedup on today's
+//! shared-memory hardware (the paper: "this needs to be tested in
+//! practice").  Elementwise arithmetic, `enumerate`, and the routing
+//! expansions are parallelised with rayon once registers exceed a grain
+//! size; results are bit-for-bit identical to [`crate::exec::Machine`].
+
+use crate::exec::{MachineError, RunOutcome, Stats, Vector};
+use crate::instr::Instr;
+use crate::program::Program;
+use rayon::prelude::*;
+
+/// Below this register length the sequential path is used (avoids rayon
+/// overhead dominating small vectors).
+pub const GRAIN: usize = 4096;
+
+/// The rayon-parallel interpreter.
+#[derive(Debug)]
+pub struct ParMachine {
+    regs: Vec<Vector>,
+    step_limit: u64,
+}
+
+impl ParMachine {
+    /// A machine sized for a program.
+    pub fn new(n_regs: usize) -> Self {
+        ParMachine {
+            regs: vec![Vec::new(); n_regs],
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the number of executed instructions.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs a program; semantics identical to the sequential machine.
+    pub fn run(&mut self, prog: &Program, inputs: &[Vector]) -> Result<RunOutcome, MachineError> {
+        if inputs.len() != prog.r_in {
+            return Err(MachineError::BadInputArity {
+                expected: prog.r_in,
+                got: inputs.len(),
+            });
+        }
+        if self.regs.len() < prog.n_regs {
+            self.regs.resize(prog.n_regs, Vec::new());
+        }
+        for r in self.regs.iter_mut() {
+            r.clear();
+        }
+        for (i, v) in inputs.iter().enumerate() {
+            self.regs[i] = v.clone();
+        }
+
+        let mut stats = Stats::default();
+        let mut pc = 0usize;
+        loop {
+            if stats.time >= self.step_limit {
+                return Err(MachineError::StepLimit);
+            }
+            let Some(ins) = prog.instrs.get(pc) else {
+                return Err(MachineError::FellOffEnd);
+            };
+            stats.time += 1;
+            let in_work: u64 = ins
+                .inputs()
+                .iter()
+                .map(|r| self.regs[*r as usize].len() as u64)
+                .sum();
+
+            let mut jumped = false;
+            match ins {
+                Instr::Arith { dst, op, a, b } => {
+                    let (va, vb) = (&self.regs[*a as usize], &self.regs[*b as usize]);
+                    if va.len() != vb.len() {
+                        return Err(MachineError::LengthMismatch {
+                            at: pc,
+                            a: va.len(),
+                            b: vb.len(),
+                        });
+                    }
+                    let op = *op;
+                    let out: Result<Vector, ()> = if va.len() >= GRAIN {
+                        va.par_iter()
+                            .zip(vb.par_iter())
+                            .map(|(x, y)| op.apply(*x, *y).ok_or(()))
+                            .collect()
+                    } else {
+                        va.iter()
+                            .zip(vb)
+                            .map(|(x, y)| op.apply(*x, *y).ok_or(()))
+                            .collect()
+                    };
+                    match out {
+                        Ok(v) => self.regs[*dst as usize] = v,
+                        Err(()) => return Err(MachineError::Arithmetic { at: pc }),
+                    }
+                }
+                Instr::Enumerate { dst, src } => {
+                    let n = self.regs[*src as usize].len() as u64;
+                    self.regs[*dst as usize] = if n as usize >= GRAIN {
+                        (0..n).into_par_iter().collect()
+                    } else {
+                        (0..n).collect()
+                    };
+                }
+                Instr::BmRoute {
+                    dst,
+                    bound,
+                    counts,
+                    values,
+                } => {
+                    let counts = &self.regs[*counts as usize];
+                    let values = &self.regs[*values as usize];
+                    let bound_len = self.regs[*bound as usize].len();
+                    if counts.len() != values.len() {
+                        return Err(MachineError::RouteInvariant {
+                            at: pc,
+                            what: "bm_route: |counts| != |values|",
+                        });
+                    }
+                    let total: u64 = counts.par_iter().sum();
+                    if total != bound_len as u64 {
+                        return Err(MachineError::RouteInvariant {
+                            at: pc,
+                            what: "bm_route: sum(counts) != |bound|",
+                        });
+                    }
+                    // Parallel expansion: exclusive prefix offsets, then
+                    // fill each output slot independently.
+                    let out = if bound_len >= GRAIN {
+                        let mut offs = Vec::with_capacity(counts.len() + 1);
+                        let mut acc = 0u64;
+                        offs.push(0);
+                        for c in counts {
+                            acc += c;
+                            offs.push(acc);
+                        }
+                        let mut out = vec![0u64; bound_len];
+                        out.par_chunks_mut(GRAIN)
+                            .enumerate()
+                            .for_each(|(chunk_idx, chunk)| {
+                                let base = (chunk_idx * GRAIN) as u64;
+                                // Locate the source for the first slot by
+                                // binary search, then walk forward.
+                                let mut src =
+                                    offs.partition_point(|o| *o <= base).saturating_sub(1);
+                                for (i, slot) in chunk.iter_mut().enumerate() {
+                                    let pos = base + i as u64;
+                                    while offs[src + 1] <= pos {
+                                        src += 1;
+                                    }
+                                    *slot = values[src];
+                                }
+                            });
+                        out
+                    } else {
+                        crate::exec::bm_route(bound_len, counts, values).map_err(|what| {
+                            MachineError::RouteInvariant { at: pc, what }
+                        })?
+                    };
+                    self.regs[*dst as usize] = out;
+                }
+                // The remaining instructions are cheap or inherently
+                // sequential control; share the scalar implementations.
+                other => {
+                    match other {
+                        Instr::Move { dst, src } => {
+                            let v = self.regs[*src as usize].clone();
+                            self.regs[*dst as usize] = v;
+                        }
+                        Instr::Empty { dst } => self.regs[*dst as usize] = Vec::new(),
+                        Instr::Singleton { dst, n } => self.regs[*dst as usize] = vec![*n],
+                        Instr::Append { dst, a, b } => {
+                            let mut out = self.regs[*a as usize].clone();
+                            out.extend_from_slice(&self.regs[*b as usize]);
+                            self.regs[*dst as usize] = out;
+                        }
+                        Instr::Length { dst, src } => {
+                            self.regs[*dst as usize] =
+                                vec![self.regs[*src as usize].len() as u64];
+                        }
+                        Instr::SbmRoute {
+                            dst,
+                            bound,
+                            counts,
+                            data,
+                            segs,
+                        } => {
+                            let out = crate::exec::sbm_route(
+                                self.regs[*bound as usize].len(),
+                                &self.regs[*counts as usize],
+                                &self.regs[*data as usize],
+                                &self.regs[*segs as usize],
+                            )
+                            .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                            self.regs[*dst as usize] = out;
+                        }
+                        Instr::Select { dst, src } => {
+                            let src_v = &self.regs[*src as usize];
+                            let out: Vector = if src_v.len() >= GRAIN {
+                                src_v.par_iter().copied().filter(|x| *x != 0).collect()
+                            } else {
+                                src_v.iter().copied().filter(|x| *x != 0).collect()
+                            };
+                            self.regs[*dst as usize] = out;
+                        }
+                        Instr::Goto { target } => {
+                            pc = *target as usize;
+                            jumped = true;
+                        }
+                        Instr::IfEmptyGoto { reg, target } => {
+                            if self.regs[*reg as usize].is_empty() {
+                                pc = *target as usize;
+                                jumped = true;
+                            }
+                        }
+                        Instr::Halt => {
+                            stats.work += in_work;
+                            let outputs = self.regs[..prog.r_out].to_vec();
+                            return Ok(RunOutcome { outputs, stats });
+                        }
+                        _ => unreachable!("handled above"),
+                    }
+                }
+            }
+            let out_work = ins
+                .output()
+                .map(|r| self.regs[r as usize].len() as u64)
+                .unwrap_or(0);
+            stats.work += in_work + out_work;
+            if let Some(r) = ins.output() {
+                stats.max_len = stats.max_len.max(self.regs[r as usize].len());
+            }
+            if !jumped {
+                pc += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr::*, Op};
+    use crate::program::Builder;
+
+    fn demo_program() -> Program {
+        let mut b = Builder::new(2, 1);
+        b.push(Arith {
+            dst: 2,
+            op: Op::Mul,
+            a: 0,
+            b: 1,
+        })
+        .push(Enumerate { dst: 3, src: 2 })
+        .push(Arith {
+            dst: 0,
+            op: Op::Add,
+            a: 2,
+            b: 3,
+        })
+        .push(Halt);
+        b.build()
+    }
+
+    #[test]
+    fn par_matches_sequential_small() {
+        let p = demo_program();
+        let inputs = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn par_matches_sequential_large() {
+        let p = demo_program();
+        let n = 3 * GRAIN + 17;
+        let a: Vec<u64> = (0..n as u64).collect();
+        let b: Vec<u64> = (0..n as u64).map(|x| x % 97).collect();
+        let inputs = vec![a, b];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn par_bm_route_matches_sequential() {
+        let mut b = Builder::new(3, 1);
+        b.push(BmRoute {
+            dst: 0,
+            bound: 0,
+            counts: 1,
+            values: 2,
+        })
+        .push(Halt);
+        let p = b.build();
+        // large: n values each replicated twice
+        let n = 2 * GRAIN as u64;
+        let counts: Vec<u64> = (0..n).map(|_| 2).collect();
+        let values: Vec<u64> = (0..n).collect();
+        let bound: Vec<u64> = vec![0; 2 * n as usize];
+        let inputs = vec![bound, counts, values];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+    }
+
+    #[test]
+    fn par_bm_route_uneven_counts() {
+        let mut bld = Builder::new(3, 1);
+        bld.push(BmRoute {
+            dst: 0,
+            bound: 0,
+            counts: 1,
+            values: 2,
+        })
+        .push(Halt);
+        let p = bld.build();
+        // Uneven counts incl. zeros, crossing the GRAIN boundary.
+        let counts: Vec<u64> = (0..3000u64).map(|i| i % 5).collect();
+        let total: u64 = counts.iter().sum();
+        let values: Vec<u64> = (0..3000u64).map(|i| i * 7).collect();
+        let inputs = vec![vec![0; total as usize], counts, values];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+    }
+
+    #[test]
+    fn arithmetic_error_surfaces_in_parallel_path() {
+        let mut b = Builder::new(2, 1);
+        b.push(Arith {
+            dst: 0,
+            op: Op::Div,
+            a: 0,
+            b: 1,
+        })
+        .push(Halt);
+        let p = b.build();
+        let n = GRAIN + 5;
+        let a = vec![1u64; n];
+        let mut bb = vec![1u64; n];
+        bb[n - 1] = 0; // one divide-by-zero deep in the vector
+        let err = ParMachine::new(p.n_regs).run(&p, &[a, bb]).unwrap_err();
+        assert!(matches!(err, MachineError::Arithmetic { .. }));
+    }
+}

@@ -1,0 +1,178 @@
+//! BVRAM programs and a label-resolving builder.
+//!
+//! A program `P` is a sequence of labeled instructions together with its
+//! input/output register conventions `r_in`, `r_out` (the paper: "P expects
+//! r_i inputs in the registers V1, …, V_{r_i} and returns r_o outputs in
+//! V1, …, V_{r_o}").  We index registers from 0.
+
+use crate::instr::{Instr, Label, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A complete BVRAM program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The instruction sequence (labels resolved to indices).
+    pub instrs: Vec<Instr>,
+    /// Number of registers the program uses.
+    pub n_regs: usize,
+    /// Number of input registers (`V0 … V_{r_in - 1}`).
+    pub r_in: usize,
+    /// Number of output registers (`V0 … V_{r_out - 1}`).
+    pub r_out: usize,
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "; bvram program: {} instrs, {} regs, in={}, out={}",
+            self.instrs.len(),
+            self.n_regs,
+            self.r_in,
+            self.r_out
+        )?;
+        for (i, ins) in self.instrs.iter().enumerate() {
+            writeln!(f, "{i:5}: {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A builder with symbolic labels and automatic register counting.
+#[derive(Debug, Default)]
+pub struct Builder {
+    instrs: Vec<Instr>,
+    /// Placeholders: instruction index → label name to patch.
+    pending: Vec<(usize, String)>,
+    labels: HashMap<String, Label>,
+    max_reg: Reg,
+    r_in: usize,
+    r_out: usize,
+}
+
+impl Builder {
+    /// Creates a builder declaring the input/output register conventions.
+    pub fn new(r_in: usize, r_out: usize) -> Self {
+        Builder {
+            r_in,
+            r_out,
+            max_reg: (r_in.max(r_out)).saturating_sub(1) as Reg,
+            ..Default::default()
+        }
+    }
+
+    fn track(&mut self, ins: &Instr) {
+        for r in ins.inputs() {
+            self.max_reg = self.max_reg.max(r);
+        }
+        if let Some(r) = ins.output() {
+            self.max_reg = self.max_reg.max(r);
+        }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, ins: Instr) -> &mut Self {
+        self.track(&ins);
+        self.instrs.push(ins);
+        self
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let at = self.instrs.len() as Label;
+        assert!(
+            self.labels.insert(name.to_string(), at).is_none(),
+            "duplicate label {name}"
+        );
+        self
+    }
+
+    /// Appends `goto label` (resolved at build time).
+    pub fn goto(&mut self, label: &str) -> &mut Self {
+        self.pending.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Goto { target: 0 });
+        self
+    }
+
+    /// Appends `if empty?(reg) goto label`.
+    pub fn if_empty_goto(&mut self, reg: Reg, label: &str) -> &mut Self {
+        self.pending.push((self.instrs.len(), label.to_string()));
+        self.max_reg = self.max_reg.max(reg);
+        self.instrs.push(Instr::IfEmptyGoto { reg, target: 0 });
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    pub fn build(mut self) -> Program {
+        for (at, name) in &self.pending {
+            let target = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label {name}"));
+            match &mut self.instrs[*at] {
+                Instr::Goto { target: t } | Instr::IfEmptyGoto { target: t, .. } => *t = target,
+                other => panic!("pending label on non-jump {other}"),
+            }
+        }
+        Program {
+            instrs: self.instrs,
+            n_regs: self.max_reg as usize + 1,
+            r_in: self.r_in,
+            r_out: self.r_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Op;
+
+    #[test]
+    fn builder_resolves_labels() {
+        let mut b = Builder::new(1, 1);
+        b.label("loop")
+            .if_empty_goto(0, "done")
+            .push(Instr::Select { dst: 0, src: 0 })
+            .goto("loop")
+            .label("done")
+            .push(Instr::Halt);
+        let p = b.build();
+        assert_eq!(p.instrs.len(), 4);
+        assert!(matches!(p.instrs[0], Instr::IfEmptyGoto { target: 3, .. }));
+        assert!(matches!(p.instrs[2], Instr::Goto { target: 0 }));
+    }
+
+    #[test]
+    fn register_count_tracks_all_uses() {
+        let mut b = Builder::new(1, 1);
+        b.push(Instr::Arith {
+            dst: 7,
+            op: Op::Add,
+            a: 0,
+            b: 3,
+        })
+        .push(Instr::Halt);
+        let p = b.build();
+        assert_eq!(p.n_regs, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut b = Builder::new(0, 0);
+        b.goto("nowhere");
+        let _ = b.build();
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut b = Builder::new(1, 1);
+        b.push(Instr::Halt);
+        let p = b.build();
+        let s = p.to_string();
+        assert!(s.contains("halt"));
+        assert!(s.contains("bvram program"));
+    }
+}

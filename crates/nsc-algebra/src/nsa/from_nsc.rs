@@ -1,0 +1,313 @@
+//! Variable elimination: NSC → NSA (Proposition C.1).
+//!
+//! A term `Γ ⊳ M : t` with `Γ = x₁:s₁, …, xₙ:sₙ` becomes an NSA function
+//! `⟦M⟧ : ⟨Γ⟩ → t`, where `⟨Γ⟩ = s₁ × (s₂ × (… × unit))` is the
+//! right-nested environment tuple.  The rules are the standard categorical
+//! combinator translation:
+//!
+//! * variables become projection chains;
+//! * `case` distributes the environment with `δ`;
+//! * `map(F)(M)` broadcasts the environment with `ρ₂` — "this replaces the
+//!   free variables present in NSC" (Appendix C) — and maps the translated
+//!   body over the paired sequence;
+//! * `while(P, F)(M)` threads the environment through the loop state
+//!   (`⟨Γ⟩ × t`), projecting it away at the end.
+//!
+//! Each NSC rule maps to O(1) combinators, so `T` and `W` are preserved up
+//! to constants — the differential tests check values exactly and cost
+//! ratios empirically.
+
+use super::build::*;
+use super::Nsa;
+use nsc_core::ast::{Func, FuncK, Ident, Term, TermK};
+use nsc_core::error::TypeError;
+use nsc_core::value::Value;
+
+/// An ordered environment layout (innermost binding first).
+#[derive(Clone, Debug, Default)]
+pub struct EnvLayout {
+    vars: Vec<Ident>,
+}
+
+impl EnvLayout {
+    /// The empty layout (environment value `()`).
+    pub fn empty() -> Self {
+        EnvLayout::default()
+    }
+
+    /// Push a binder (becomes the first pair component).
+    pub fn bind(&self, x: Ident) -> Self {
+        let mut vars = vec![x];
+        vars.extend(self.vars.iter().cloned());
+        EnvLayout { vars }
+    }
+
+    /// The projection chain for a variable: `π₂ⁱ` then `π₁`.
+    fn project(&self, x: &str) -> Option<Nsa> {
+        let idx = self.vars.iter().position(|v| &**v == x)?;
+        let mut f = Nsa::Pi1;
+        for _ in 0..idx {
+            f = comp(f, Nsa::Pi2);
+        }
+        Some(f)
+    }
+
+    /// Packs an `nsc_core` runtime environment into the tuple value this
+    /// layout expects (for differential testing).
+    pub fn pack(&self, env: &nsc_core::env::Env) -> Option<Value> {
+        let mut out = Value::unit();
+        for x in self.vars.iter().rev() {
+            out = Value::pair(env.lookup(x)?.clone(), out);
+        }
+        Some(out)
+    }
+}
+
+/// Translates a closed NSC function `F : s → t` into NSA.
+pub fn func_to_nsa(f: &Func) -> Result<Nsa, TypeError> {
+    // A closed function sees the empty environment: build F over
+    // (arg, ()) and pre-pair the argument.
+    let inner = trans_func(f, &EnvLayout::empty())?;
+    Ok(comp(inner, pair(Nsa::Id, Nsa::Bang)))
+}
+
+/// Translates a term under a layout: `⟦M⟧ : ⟨Γ⟩ → t`.
+pub fn term_to_nsa(m: &Term, env: &EnvLayout) -> Result<Nsa, TypeError> {
+    match m.kind() {
+        TermK::Var(x) => env
+            .project(x)
+            .ok_or_else(|| TypeError::UnboundVariable(x.to_string())),
+        TermK::Error(t) => Ok(Nsa::OmegaF(t.clone())),
+        TermK::Const(n) => Ok(comp(Nsa::ConstNat(*n), Nsa::Bang)),
+        TermK::Arith(op, a, b) => Ok(comp(
+            Nsa::Arith(*op),
+            pair(term_to_nsa(a, env)?, term_to_nsa(b, env)?),
+        )),
+        TermK::Cmp(op, a, b) => Ok(comp(
+            Nsa::Cmp(*op),
+            pair(term_to_nsa(a, env)?, term_to_nsa(b, env)?),
+        )),
+        TermK::Unit => Ok(Nsa::Bang),
+        TermK::Pair(a, b) => Ok(pair(term_to_nsa(a, env)?, term_to_nsa(b, env)?)),
+        TermK::Proj1(a) => Ok(comp(Nsa::Pi1, term_to_nsa(a, env)?)),
+        TermK::Proj2(a) => Ok(comp(Nsa::Pi2, term_to_nsa(a, env)?)),
+        TermK::Inl(a, right) => Ok(comp(Nsa::InlF(right.clone()), term_to_nsa(a, env)?)),
+        TermK::Inr(a, left) => Ok(comp(Nsa::InrF(left.clone()), term_to_nsa(a, env)?)),
+        TermK::Case(scrut, x, n, y, p) => {
+            // δ ∘ ⟨⟦M⟧, id⟩ : ⟨Γ⟩ → t₁×⟨Γ⟩ + t₂×⟨Γ⟩, then branch.
+            let n_f = term_to_nsa(n, &env.bind(x.clone()))?;
+            let p_f = term_to_nsa(p, &env.bind(y.clone()))?;
+            Ok(comp(
+                sum(n_f, p_f),
+                comp(Nsa::Dist, pair(term_to_nsa(scrut, env)?, Nsa::Id)),
+            ))
+        }
+        TermK::Apply(f, arg) => {
+            let arg_f = term_to_nsa(arg, env)?;
+            apply_func_nsa(f, env, arg_f)
+        }
+        TermK::Empty(t) => Ok(comp(Nsa::EmptyF(t.clone()), Nsa::Bang)),
+        TermK::Singleton(a) => Ok(comp(Nsa::SingletonF, term_to_nsa(a, env)?)),
+        TermK::Append(a, b) => Ok(comp(
+            Nsa::AppendF,
+            pair(term_to_nsa(a, env)?, term_to_nsa(b, env)?),
+        )),
+        TermK::Flatten(a) => Ok(comp(Nsa::FlattenF, term_to_nsa(a, env)?)),
+        TermK::Length(a) => Ok(comp(Nsa::LengthF, term_to_nsa(a, env)?)),
+        TermK::Get(a) => Ok(comp(Nsa::GetF, term_to_nsa(a, env)?)),
+        TermK::Zip(a, b) => Ok(comp(
+            Nsa::ZipF,
+            pair(term_to_nsa(a, env)?, term_to_nsa(b, env)?),
+        )),
+        TermK::Enumerate(a) => Ok(comp(Nsa::EnumerateF, term_to_nsa(a, env)?)),
+        TermK::Split(a, b) => Ok(comp(
+            Nsa::SplitF,
+            pair(term_to_nsa(a, env)?, term_to_nsa(b, env)?),
+        )),
+    }
+}
+
+/// Translates `F(·)` applied to a compiled argument:
+/// returns `⟦F(arg)⟧ : ⟨Γ⟩ → t`.
+fn apply_func_nsa(f: &Func, env: &EnvLayout, arg_f: Nsa) -> Result<Nsa, TypeError> {
+    Ok(comp(trans_func(f, env)?, pair(arg_f, Nsa::Id)))
+}
+
+/// Translates a function to operate on `(arg, ⟨Γ⟩)`.
+fn trans_func(f: &Func, env: &EnvLayout) -> Result<Nsa, TypeError> {
+    match f.kind() {
+        FuncK::Lambda(x, _, body) => term_to_nsa(body, &env.bind(x.clone())),
+        FuncK::Map(g) => {
+            // (xs, Γ) → ρ₂(Γ, xs) = [(Γ, x)…] → map over swapped pairs.
+            let g_f = trans_func(g, env)?;
+            Ok(comp(
+                mapf(comp(g_f, swap())),
+                comp(Nsa::Broadcast, swap()),
+            ))
+        }
+        FuncK::While(p, body) => {
+            // State (x, Γ): predicate on the state, body preserves Γ.
+            let p_f = trans_func(p, env)?;
+            let b_f = trans_func(body, env)?;
+            Ok(comp(
+                Nsa::Pi1,
+                whilef(p_f, pair(b_f, Nsa::Pi2)),
+            ))
+        }
+        FuncK::Named(n) => Err(TypeError::UnknownFunction(format!(
+            "named function `{n}` must be translated away (Theorem 4.2) before NSA"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsa::apply;
+    use nsc_core::ast::{self, *};
+    // Explicit import disambiguates from the NSA combinator `pair`.
+    use nsc_core::ast::pair;
+    use nsc_core::eval::eval_term;
+    use nsc_core::stdlib;
+    use nsc_core::types::Type;
+    use nsc_core::value::Value;
+
+    /// Differential check: a closed NSC term against its NSA translation.
+    fn check_term(t: &Term) {
+        let (nsc_val, nsc_cost) = eval_term(t).unwrap();
+        let f = term_to_nsa(t, &EnvLayout::empty()).unwrap();
+        let (nsa_val, nsa_cost) = apply(&f, &Value::unit()).unwrap();
+        assert_eq!(nsc_val, nsa_val, "values agree for {t}");
+        // Proposition C.1: same T and W up to constants.
+        let tr = nsa_cost.time as f64 / nsc_cost.time.max(1) as f64;
+        let wr = nsa_cost.work as f64 / nsc_cost.work.max(1) as f64;
+        assert!(tr < 20.0 && wr < 20.0, "cost blowup {tr:.1}x/{wr:.1}x for {t}");
+    }
+
+    fn check_func(f: &Func, arg: Value) {
+        let (nsc_val, _) = nsc_core::eval::apply_func(f, arg.clone()).unwrap();
+        let g = func_to_nsa(f).unwrap();
+        let (nsa_val, _) = apply(&g, &arg).unwrap();
+        assert_eq!(nsc_val, nsa_val);
+    }
+
+    #[test]
+    fn scalars_and_pairs() {
+        check_term(&add(nat(2), nat(3)));
+        check_term(&pair(nat(1), pair(nat(2), unit())));
+        check_term(&fst(pair(nat(1), nat(2))));
+        check_term(&cond(le(nat(1), nat(2)), nat(10), nat(20)));
+    }
+
+    #[test]
+    fn let_bindings_project_correctly() {
+        check_term(&let_in(
+            "x",
+            nat(5),
+            let_in("y", nat(7), monus(var("y"), var("x"))),
+        ));
+        // Shadowing
+        check_term(&let_in(
+            "x",
+            nat(5),
+            let_in("x", nat(7), var("x")),
+        ));
+    }
+
+    #[test]
+    fn sequences_round_trip() {
+        check_term(&append(singleton(nat(1)), singleton(nat(2))));
+        check_term(&enumerate(append(singleton(nat(5)), singleton(nat(6)))));
+        check_term(&flatten(singleton(singleton(nat(3)))));
+        check_term(&split(
+            append(singleton(nat(1)), singleton(nat(2))),
+            append(singleton(nat(1)), singleton(nat(1))),
+        ));
+    }
+
+    #[test]
+    fn map_with_captured_variable() {
+        // let k = 10 in map(\x. x + k)([0,1,2]) — the broadcast case.
+        let body = let_in(
+            "k",
+            nat(10),
+            app(
+                map(lam("x", add(var("x"), var("k")))),
+                append(singleton(nat(0)), append(singleton(nat(1)), singleton(nat(2)))),
+            ),
+        );
+        check_term(&body);
+    }
+
+    #[test]
+    fn while_with_captured_variable() {
+        // let step = 3 in while(\x. x < 10, \x. x + step)(0) = 12
+        let body = let_in(
+            "step",
+            nat(3),
+            app(
+                while_(
+                    lam("x", lt(var("x"), nat(10))),
+                    lam("x", add(var("x"), var("step"))),
+                ),
+                nat(0),
+            ),
+        );
+        check_term(&body);
+        assert_eq!(eval_term(&body).unwrap().0, Value::nat(12));
+    }
+
+    #[test]
+    fn closed_functions_translate() {
+        let f = map(lam("x", mul(var("x"), var("x"))));
+        check_func(&f, Value::nat_seq(0..8));
+        let sumf = lam("xs", stdlib::numeric::sum_seq(ast::var("xs")));
+        check_func(&sumf, Value::nat_seq(0..20));
+    }
+
+    #[test]
+    fn stdlib_routing_translates() {
+        // bm_route through the full NSA pipeline.
+        let f = lam(
+            "x",
+            stdlib::routing::bm_route(
+                var("x"),
+                append(singleton(nat(2)), singleton(nat(1))),
+                append(singleton(nat(7)), singleton(nat(9))),
+            ),
+        );
+        let arg = Value::seq(vec![Value::unit(), Value::unit(), Value::unit()]);
+        check_func(&f, arg.clone());
+        let g = func_to_nsa(&f).unwrap();
+        let (v, _) = apply(&g, &arg).unwrap();
+        assert_eq!(v, Value::nat_seq([7, 7, 9]));
+    }
+
+    #[test]
+    fn nested_maps_translate() {
+        // map(map(+1)) over [[1,2],[3]]
+        let f = map(map(lam("x", add(var("x"), nat(1)))));
+        let arg = Value::seq(vec![Value::nat_seq([1, 2]), Value::nat_seq([3])]);
+        check_func(&f, arg);
+    }
+
+    #[test]
+    fn named_functions_are_rejected() {
+        let f = named("mystery");
+        assert!(func_to_nsa(&f).is_err());
+        let _ = Type::Nat;
+    }
+
+    #[test]
+    fn translated_maprec_program_runs_in_nsa() {
+        // End-to-end: map-recursion -> NSC (Thm 4.2) -> NSA (Prop C.1).
+        use nsc_core::maprec::translate::translate;
+        let def = nsc_core::maprec::fixtures::range_sum();
+        let f = translate(&def);
+        let arg = Value::pair(Value::nat(0), Value::nat(16));
+        check_func(&f, arg.clone());
+        let g = func_to_nsa(&f).unwrap();
+        let (v, _) = apply(&g, &arg).unwrap();
+        assert_eq!(v, Value::nat((0..16).sum::<u64>()));
+    }
+}

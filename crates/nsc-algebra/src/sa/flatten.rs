@@ -1,0 +1,654 @@
+//! **Proposition 7.4 — flattening**: every NSA function `f : s → s'`
+//! compiles to an SA function `COMPILE(f) : COMPILE(s) → COMPILE(s')` with
+//! `COMPILE(f)(encode(x)) = encode(f(x))`.
+//!
+//! Types flatten by
+//!
+//! ```text
+//! COMPILE(unit)  = unit          COMPILE(s × t) = COMPILE(s) × COMPILE(t)
+//! COMPILE(N)     = [N]           COMPILE(s + t) = COMPILE(s) + COMPILE(t)
+//! COMPILE([t])   = SEQ(COMPILE(t))
+//! ```
+//!
+//! so nested sequences become segment-descriptor encodings, and the one
+//! genuinely parallel construct — `map(g)` — becomes the Map Lemma's
+//! `SEQ(COMPILE(g))`.  All other NSA primitives translate structurally;
+//! the sequence primitives become the segmented toolkit of
+//! [`super::map_lemma`] (`flatten` is a projection tree, `split` attaches
+//! an outer descriptor with segmented totals, broadcast `ρ₂` replicates a
+//! flat value with one `sbm_route`, …).
+
+use super::b::*;
+use super::map_lemma::{
+    append_enc, count_enc, empty_enc, gather_sorted, not_flat, seq_lift, singleton_enc,
+    zeros_like,
+};
+use super::scalar::{b as sb, Scalar};
+use super::seq::{decode_batch, encode_batch, seq_type};
+use super::Sa;
+use crate::nsa::Nsa;
+use nsc_core::ast::CmpOp;
+use nsc_core::error::EvalError as E;
+use nsc_core::types::Type;
+use nsc_core::value::{Kind, Value};
+
+fn stuck(m: &'static str) -> E {
+    E::Stuck(m)
+}
+
+/// `COMPILE(s)`: the flat type encoding an arbitrary NSC/NSA type.
+pub fn compile_type(t: &Type) -> Type {
+    match t {
+        Type::Unit => Type::Unit,
+        Type::Nat => Type::seq(Type::Nat),
+        Type::Prod(a, b) => Type::prod(compile_type(a), compile_type(b)),
+        Type::Sum(a, b) => Type::sum(compile_type(a), compile_type(b)),
+        Type::Seq(e) => seq_type(&compile_type(e)),
+    }
+}
+
+/// `encode : s → COMPILE(s)` (reference converter; `O(1)` depth per
+/// constructor, linear size).
+pub fn encode(v: &Value, t: &Type) -> Result<Value, E> {
+    match t {
+        Type::Unit => Ok(Value::unit()),
+        Type::Nat => Ok(Value::seq(vec![v.clone()])),
+        Type::Prod(a, b) => {
+            let (x, y) = v.as_pair().ok_or(stuck("encode pair"))?;
+            Ok(Value::pair(encode(x, a)?, encode(y, b)?))
+        }
+        Type::Sum(a, b) => match v.kind() {
+            Kind::Inl(u) => Ok(Value::inl(encode(u, a)?)),
+            Kind::Inr(u) => Ok(Value::inr(encode(u, b)?)),
+            _ => Err(stuck("encode sum")),
+        },
+        Type::Seq(e) => {
+            let xs = v.as_seq().ok_or(stuck("encode seq"))?;
+            let ce = compile_type(e);
+            let encoded: Result<Vec<Value>, E> = xs.iter().map(|x| encode(x, e)).collect();
+            encode_batch(&encoded?, &ce)
+        }
+    }
+}
+
+/// `decode : COMPILE(s) → s` with `decode(encode(x)) = x`.
+pub fn decode(v: &Value, t: &Type) -> Result<Value, E> {
+    match t {
+        Type::Unit => Ok(Value::unit()),
+        Type::Nat => {
+            let xs = v.as_seq().ok_or(stuck("decode nat"))?;
+            if xs.len() != 1 {
+                return Err(E::GetNonSingleton(xs.len()));
+            }
+            Ok(xs[0].clone())
+        }
+        Type::Prod(a, b) => {
+            let (x, y) = v.as_pair().ok_or(stuck("decode pair"))?;
+            Ok(Value::pair(decode(x, a)?, decode(y, b)?))
+        }
+        Type::Sum(a, b) => match v.kind() {
+            Kind::Inl(u) => Ok(Value::inl(decode(u, a)?)),
+            Kind::Inr(u) => Ok(Value::inr(decode(u, b)?)),
+            _ => Err(stuck("decode sum")),
+        },
+        Type::Seq(e) => {
+            let ce = compile_type(e);
+            let parts = decode_batch(v, &ce)?;
+            let decoded: Result<Vec<Value>, E> = parts.iter().map(|x| decode(x, e)).collect();
+            Ok(Value::seq(decoded?))
+        }
+    }
+}
+
+/// `[N]`-singleton-is-zero test as flat `B` (used by the Map Lemma's
+/// vacuous-omega rule).
+pub(crate) fn seq_bool_is_zero() -> Sa {
+    comp(
+        seq_bool(),
+        maps(sb::comp(
+            Scalar::Cmp(CmpOp::Eq),
+            sb::pairs(Scalar::Id, sb::comp(Scalar::Const(0), Scalar::Bang)),
+        )),
+    )
+}
+
+/// `[B]`-singleton → flat `B`.
+fn seq_bool() -> Sa {
+    comp(not_flat(), comp(Sa::EmptyTest, Sa::Sigma1))
+}
+
+/// Flat-`B` guard: `if cond then f else Ω`.
+fn guard(cond: Sa, f: Sa, cod: &Type) -> Sa {
+    iff(cond, f, Sa::OmegaF(compile_type(cod)))
+}
+
+/// Equality of two `[N]` singletons as flat `B`.
+fn singletons_eq(a: Sa, b: Sa) -> Sa {
+    comp(
+        seq_bool(),
+        comp(maps(Scalar::Cmp(CmpOp::Eq)), comp(Sa::ZipF, pair(a, b))),
+    )
+}
+
+/// Drop one `SEQ` layer: `seq_type(x) → x` for the flat `x` (the data
+/// projection tree; `seq_type` never produces top-level sums).
+fn drop_seq(x: &Type) -> Result<Sa, E> {
+    Ok(match x {
+        Type::Unit => Sa::Bang,
+        Type::Seq(_) => Sa::Pi2,
+        Type::Prod(a, b) => pair(
+            comp(drop_seq(a)?, Sa::Pi1),
+            comp(drop_seq(b)?, Sa::Pi2),
+        ),
+        _ => return Err(stuck("drop_seq: unexpected sum/N in SEQ structure")),
+    })
+}
+
+/// Segmented totals of `values` grouped by `counts`:
+/// ambient `(values, counts)` accessed via the given selectors.
+fn seg_totals(values: Sa, counts: Sa) -> Sa {
+    comp(
+        super::map_lemma::segment_totals(),
+        pair(pair(values, counts.clone()), counts),
+    )
+}
+
+/// Attach an outer segment descriptor (`split`): produce
+/// `SEQ(SEQ(ct))` from group lengths `counts` and a `SEQ(ct)` encoding.
+fn attach_outer(ct: &Type, counts: Sa, enc: Sa) -> Result<Sa, E> {
+    Ok(match ct {
+        Type::Unit => pair(counts, enc),
+        Type::Seq(_) => {
+            let segs = comp(Sa::Pi1, enc.clone());
+            let data = comp(Sa::Pi2, enc);
+            let data_counts = seg_totals(segs.clone(), counts.clone());
+            pair(pair(counts, segs), pair(data_counts, data))
+        }
+        Type::Prod(a, b) => pair(
+            attach_outer(a, counts.clone(), comp(Sa::Pi1, enc.clone()))?,
+            attach_outer(b, counts, comp(Sa::Pi2, enc))?,
+        ),
+        Type::Sum(a, b) => {
+            let tags = comp(Sa::Pi1, enc.clone());
+            let e1 = comp(Sa::Pi1, comp(Sa::Pi2, enc.clone()));
+            let e2 = comp(Sa::Pi2, comp(Sa::Pi2, enc));
+            let ind = |left: bool| {
+                let phi = if left {
+                    sb::cases(
+                        sb::comp(Scalar::Const(1), Scalar::Bang),
+                        sb::comp(Scalar::Const(0), Scalar::Bang),
+                    )
+                } else {
+                    sb::cases(
+                        sb::comp(Scalar::Const(0), Scalar::Bang),
+                        sb::comp(Scalar::Const(1), Scalar::Bang),
+                    )
+                };
+                comp(maps(phi), tags.clone())
+            };
+            let lc = seg_totals(ind(true), counts.clone());
+            let rc = seg_totals(ind(false), counts.clone());
+            pair(
+                pair(counts, tags),
+                pair(attach_outer(a, lc, e1)?, attach_outer(b, rc, e2)?),
+            )
+        }
+        Type::Nat => return Err(stuck("attach_outer on N")),
+    })
+}
+
+/// Replicate a flat value `n` times as a batch: ambient selectors give the
+/// value (`: COMPILE-flat cs`) and an `n`-length `[N]` bound.
+fn replicate_enc(cs: &Type, val: Sa, n_seq: Sa) -> Result<Sa, E> {
+    Ok(match cs {
+        Type::Unit => comp(maps(Scalar::Const(0)), n_seq),
+        Type::Seq(_) => {
+            let n_single = comp(Sa::LengthF, n_seq.clone());
+            let seg_single = comp(Sa::LengthF, val.clone());
+            let segs = comp(
+                Sa::BmRouteF,
+                pair(pair(n_seq.clone(), n_single.clone()), seg_single.clone()),
+            );
+            let data = comp(
+                Sa::SbmRouteF,
+                pair(pair(n_seq, n_single), pair(val, seg_single)),
+            );
+            pair(segs, data)
+        }
+        Type::Prod(a, b) => pair(
+            replicate_enc(a, comp(Sa::Pi1, val.clone()), n_seq.clone())?,
+            replicate_enc(b, comp(Sa::Pi2, val), n_seq)?,
+        ),
+        Type::Sum(a, b) => {
+            // Dispatch on the flat sum value.  After `dist` each branch
+            // receives the *(payload, n_seq)* pair, so all selectors here
+            // are branch-local (pi1 = payload, pi2 = the n-length bound).
+            let left = pair(
+                comp(maps(sb::const_bool(true)), Sa::Pi2),
+                pair(
+                    replicate_enc(a, Sa::Pi1, Sa::Pi2)?,
+                    comp(empty_enc(b)?, Sa::Bang),
+                ),
+            );
+            let right = pair(
+                comp(maps(sb::const_bool(false)), Sa::Pi2),
+                pair(
+                    comp(empty_enc(a)?, Sa::Bang),
+                    replicate_enc(b, Sa::Pi1, Sa::Pi2)?,
+                ),
+            );
+            comp(sum(left, right), comp(Sa::Dist, pair(val, n_seq)))
+        }
+        Type::Nat => return Err(stuck("replicate_enc on raw N")),
+    })
+}
+
+/// Compiles an NSA function; returns `COMPILE(f)` and the NSA codomain.
+pub fn compile(f: &Nsa, dom: &Type) -> Result<(Sa, Type), E> {
+    match f {
+        Nsa::Id => Ok((Sa::Id, dom.clone())),
+        Nsa::Compose(g, f1) => {
+            let (sf, mid) = compile(f1, dom)?;
+            let (sg, cod) = compile(g, &mid)?;
+            Ok((comp(sg, sf), cod))
+        }
+        Nsa::Bang => Ok((Sa::Bang, Type::Unit)),
+        Nsa::PairF(f1, f2) => {
+            let (s1, c1) = compile(f1, dom)?;
+            let (s2, c2) = compile(f2, dom)?;
+            Ok((pair(s1, s2), Type::prod(c1, c2)))
+        }
+        Nsa::Pi1 => match dom {
+            Type::Prod(a, _) => Ok((Sa::Pi1, (**a).clone())),
+            _ => Err(stuck("compile pi1 domain")),
+        },
+        Nsa::Pi2 => match dom {
+            Type::Prod(_, b) => Ok((Sa::Pi2, (**b).clone())),
+            _ => Err(stuck("compile pi2 domain")),
+        },
+        Nsa::InlF(right) => Ok((
+            Sa::InlF(compile_type(right)),
+            Type::sum(dom.clone(), right.clone()),
+        )),
+        Nsa::InrF(left) => Ok((
+            Sa::InrF(compile_type(left)),
+            Type::sum(left.clone(), dom.clone()),
+        )),
+        Nsa::SumCase(f1, f2) => match dom {
+            Type::Sum(a, b) => {
+                let (s1, c1) = compile(f1, a)?;
+                let (s2, c2) = compile(f2, b)?;
+                if c1 != c2 {
+                    return Err(stuck("compile sum case: branch codomains differ"));
+                }
+                Ok((sum(s1, s2), c1))
+            }
+            _ => Err(stuck("compile sum case domain")),
+        },
+        Nsa::Dist => match dom {
+            Type::Prod(s, t) => match &**s {
+                Type::Sum(a, b) => Ok((
+                    Sa::Dist,
+                    Type::sum(
+                        Type::prod((**a).clone(), (**t).clone()),
+                        Type::prod((**b).clone(), (**t).clone()),
+                    ),
+                )),
+                _ => Err(stuck("compile dist domain")),
+            },
+            _ => Err(stuck("compile dist domain")),
+        },
+        Nsa::OmegaF(cod) => Ok((Sa::OmegaF(compile_type(cod)), cod.clone())),
+        Nsa::ConstNat(n) => Ok((const_seq(*n), Type::Nat)),
+        Nsa::Arith(op) => Ok((
+            comp(maps(Scalar::Arith(*op)), Sa::ZipF),
+            Type::Nat,
+        )),
+        Nsa::Cmp(op) => Ok((
+            comp(seq_bool(), comp(maps(Scalar::Cmp(*op)), Sa::ZipF)),
+            Type::bool_(),
+        )),
+        Nsa::While(p, body) => {
+            let (sp, pb) = compile(p, dom)?;
+            if !pb.is_bool() {
+                return Err(stuck("compile while predicate"));
+            }
+            let (sb_, bc) = compile(body, dom)?;
+            if &bc != dom {
+                return Err(stuck("compile while body type"));
+            }
+            Ok((whilef(sp, sb_), dom.clone()))
+        }
+        Nsa::MapF(g) => match dom {
+            Type::Seq(e) => {
+                let (sg, gc) = compile(g, e)?;
+                let (lifted, lc) = seq_lift(&sg, &compile_type(e))?;
+                debug_assert_eq!(lc, compile_type(&gc));
+                Ok((lifted, Type::seq(gc)))
+            }
+            _ => Err(stuck("compile map domain")),
+        },
+        Nsa::EmptyF(elem) => Ok((
+            comp(empty_enc(&compile_type(elem))?, Sa::Bang),
+            Type::seq(elem.clone()),
+        )),
+        Nsa::SingletonF => Ok((
+            singleton_enc(&compile_type(dom))?,
+            Type::seq(dom.clone()),
+        )),
+        Nsa::AppendF => match dom {
+            Type::Prod(a, _) => match &**a {
+                Type::Seq(e) => Ok((
+                    append_enc(&compile_type(e))?,
+                    (**a).clone(),
+                )),
+                _ => Err(stuck("compile append domain")),
+            },
+            _ => Err(stuck("compile append domain")),
+        },
+        Nsa::FlattenF => match dom {
+            Type::Seq(inner) => match &**inner {
+                Type::Seq(e) => Ok((
+                    drop_seq(&seq_type(&compile_type(e)))?,
+                    (**inner).clone(),
+                )),
+                _ => Err(stuck("compile flatten domain")),
+            },
+            _ => Err(stuck("compile flatten domain")),
+        },
+        Nsa::LengthF => match dom {
+            Type::Seq(e) => Ok((count_enc(&compile_type(e))?, Type::Nat)),
+            _ => Err(stuck("compile length domain")),
+        },
+        Nsa::GetF => match dom {
+            Type::Seq(e) => {
+                let ce = compile_type(e);
+                let len_is_1 = singletons_eq(count_enc(&ce)?, const_seq(1));
+                Ok((guard(len_is_1, get_one(&ce)?, e), (**e).clone()))
+            }
+            _ => Err(stuck("compile get domain")),
+        },
+        Nsa::ZipF => match dom {
+            Type::Prod(a, b) => match (&**a, &**b) {
+                (Type::Seq(s1), Type::Seq(s2)) => {
+                    let eq = singletons_eq(
+                        comp(count_enc(&compile_type(s1))?, Sa::Pi1),
+                        comp(count_enc(&compile_type(s2))?, Sa::Pi2),
+                    );
+                    let zip_ty =
+                        Type::seq(Type::prod((**s1).clone(), (**s2).clone()));
+                    Ok((guard(eq, Sa::Id, &zip_ty), zip_ty))
+                }
+                _ => Err(stuck("compile zip domain")),
+            },
+            _ => Err(stuck("compile zip domain")),
+        },
+        Nsa::EnumerateF => match dom {
+            Type::Seq(e) => {
+                let zl = zeros_like(&compile_type(e))?;
+                Ok((
+                    pair(
+                        comp(maps(Scalar::Const(1)), zl.clone()),
+                        comp(Sa::EnumerateF, zl),
+                    ),
+                    Type::seq(Type::Nat),
+                ))
+            }
+            _ => Err(stuck("compile enumerate domain")),
+        },
+        Nsa::SplitF => match dom {
+            Type::Prod(a, b) => match (&**a, &**b) {
+                (Type::Seq(e), Type::Seq(nat)) if **nat == Type::Nat => {
+                    let ce = compile_type(e);
+                    // counts = the data component of the [N] encoding
+                    let counts = comp(Sa::Pi2, Sa::Pi2);
+                    let enc = Sa::Pi1;
+                    let attached = attach_outer(&ce, counts.clone(), enc.clone())?;
+                    // invariant: Σ counts = batch length
+                    let total = comp(
+                        gather_sorted(),
+                        pair(
+                            comp(
+                                Sa::AppendF,
+                                pair(const_seq(0), comp(Sa::PrefixSum, counts.clone())),
+                            ),
+                            comp(Sa::LengthF, counts),
+                        ),
+                    );
+                    let ok = singletons_eq(total, comp(count_enc(&ce)?, enc));
+                    let out_ty = Type::seq((**a).clone());
+                    Ok((guard(ok, attached, &out_ty), out_ty))
+                }
+                _ => Err(stuck("compile split domain")),
+            },
+            _ => Err(stuck("compile split domain")),
+        },
+        Nsa::Broadcast => match dom {
+            Type::Prod(s, t) => match &**t {
+                Type::Seq(e) => {
+                    let cs = compile_type(s);
+                    let n_seq = comp(zeros_like(&compile_type(e))?, Sa::Pi2);
+                    let left = replicate_enc(&cs, Sa::Pi1, n_seq)?;
+                    Ok((
+                        pair(left, Sa::Pi2),
+                        Type::seq(Type::prod((**s).clone(), (**e).clone())),
+                    ))
+                }
+                _ => Err(stuck("compile broadcast domain")),
+            },
+            _ => Err(stuck("compile broadcast domain")),
+        },
+    }
+}
+
+/// Extract the single element of a 1-batch: `SEQ(ct) → ct`.
+fn get_one(ct: &Type) -> Result<Sa, E> {
+    Ok(match ct {
+        Type::Unit => Sa::Bang,
+        Type::Seq(_) => Sa::Pi2,
+        Type::Prod(a, b) => pair(
+            comp(get_one(a)?, Sa::Pi1),
+            comp(get_one(b)?, Sa::Pi2),
+        ),
+        Type::Sum(a, b) => {
+            let tag = comp(seq_bool(), Sa::Pi1);
+            iff(
+                tag,
+                comp(Sa::InlF((**b).clone()), comp(get_one(a)?, comp(Sa::Pi1, Sa::Pi2))),
+                comp(Sa::InrF((**a).clone()), comp(get_one(b)?, comp(Sa::Pi2, Sa::Pi2))),
+            )
+        }
+        Type::Nat => return Err(stuck("get_one on N")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsa::from_nsc::func_to_nsa;
+    use crate::sa::apply_sa;
+    use nsc_core::ast as a;
+    use nsc_core::stdlib;
+    use nsc_core::value::Value;
+
+    /// End-to-end differential check: NSC function vs its flattened SA
+    /// program, on the given argument.
+    fn check(f: &nsc_core::Func, dom: &Type, arg: Value) {
+        let expected = nsc_core::eval::apply_func(f, arg.clone());
+        // func_to_nsa pre-pairs the argument with the empty environment,
+        // so the compiled program takes the bare (encoded) argument.
+        let nsa = func_to_nsa(f).unwrap();
+        let (sa, cod) = compile(&nsa, dom).unwrap();
+        let enc_arg = encode(&arg, dom).unwrap();
+        match expected {
+            Ok((want, _)) => {
+                let (got_enc, _) = apply_sa(&sa, &enc_arg)
+                    .unwrap_or_else(|e| panic!("SA run failed: {e} for {f}"));
+                let got = decode(&got_enc, &cod).unwrap();
+                assert_eq!(got, want, "flattened result differs for {f}");
+            }
+            Err(_) => {
+                assert!(apply_sa(&sa, &enc_arg).is_err(), "expected error for {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = Type::seq(Type::seq(Type::Nat));
+        let v = Value::seq(vec![
+            Value::nat_seq([1, 2]),
+            Value::nat_seq([]),
+            Value::nat_seq([3, 4, 5]),
+        ]);
+        let e = encode(&v, &t).unwrap();
+        assert!(compile_type(&t).admits(&e));
+        assert_eq!(decode(&e, &t).unwrap(), v);
+    }
+
+    #[test]
+    fn scalar_pipeline() {
+        let f = a::lam("x", a::add(a::var("x"), a::nat(1)));
+        check(&f, &Type::Nat, Value::nat(41));
+    }
+
+    #[test]
+    fn map_pipeline() {
+        let f = a::map(a::lam("x", a::mul(a::var("x"), a::var("x"))));
+        check(&f, &Type::seq(Type::Nat), Value::nat_seq(0..10));
+    }
+
+    #[test]
+    fn nested_map_pipeline() {
+        let f = a::map(a::map(a::lam("x", a::add(a::var("x"), a::nat(1)))));
+        let arg = Value::seq(vec![
+            Value::nat_seq([1, 2]),
+            Value::nat_seq([]),
+            Value::nat_seq([3]),
+        ]);
+        check(&f, &Type::seq(Type::seq(Type::Nat)), arg);
+    }
+
+    #[test]
+    fn conditional_inside_map() {
+        // map(λx. if x < 3 then x else 0) — exercises batched Dist+SumCase.
+        let f = a::map(a::lam(
+            "x",
+            a::cond(a::lt(a::var("x"), a::nat(3)), a::var("x"), a::nat(0)),
+        ));
+        check(&f, &Type::seq(Type::Nat), Value::nat_seq(0..6));
+    }
+
+    #[test]
+    fn while_pipeline() {
+        // while x > 0: x >> 1, on a scalar
+        let f = a::while_(
+            a::lam("x", a::lt(a::nat(0), a::var("x"))),
+            a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+        );
+        check(&f, &Type::Nat, Value::nat(100));
+    }
+
+    #[test]
+    fn while_under_map_pipeline() {
+        // map(while halve-to-zero): the Map Lemma's hard case end-to-end.
+        let f = a::map(a::while_(
+            a::lam("x", a::lt(a::nat(0), a::var("x"))),
+            a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+        ));
+        check(&f, &Type::seq(Type::Nat), Value::nat_seq([5, 0, 19, 2, 77]));
+    }
+
+    #[test]
+    fn sequence_primitives_pipeline() {
+        let nat_seq_ty = Type::seq(Type::Nat);
+        // append
+        let f = a::lam(
+            "x",
+            a::append(a::var("x"), a::singleton(a::nat(9))),
+        );
+        check(&f, &nat_seq_ty, Value::nat_seq([1, 2]));
+        // enumerate
+        let f = a::lam("x", a::enumerate(a::var("x")));
+        check(&f, &nat_seq_ty, Value::nat_seq([5, 5, 5]));
+        // length
+        let f = a::lam("x", a::length(a::var("x")));
+        check(&f, &nat_seq_ty, Value::nat_seq([4, 4, 4, 4]));
+        // get singleton + error case
+        let f = a::lam("x", a::get(a::var("x")));
+        check(&f, &nat_seq_ty, Value::nat_seq([7]));
+        check(&f, &nat_seq_ty, Value::nat_seq([7, 8]));
+    }
+
+    #[test]
+    fn flatten_and_split_pipeline() {
+        let f = a::lam("x", a::flatten(a::var("x")));
+        let arg = Value::seq(vec![Value::nat_seq([1]), Value::nat_seq([2, 3])]);
+        check(&f, &Type::seq(Type::seq(Type::Nat)), arg);
+
+        let f = a::lam(
+            "x",
+            a::split(
+                a::var("x"),
+                a::append(
+                    a::singleton(a::nat(2)),
+                    a::append(a::singleton(a::nat(0)), a::singleton(a::nat(1))),
+                ),
+            ),
+        );
+        check(&f, &Type::seq(Type::Nat), Value::nat_seq([4, 5, 6]));
+        // bad split errors on both sides
+        let f2 = a::lam("x", a::split(a::var("x"), a::singleton(a::nat(5))));
+        check(&f2, &Type::seq(Type::Nat), Value::nat_seq([1, 2]));
+    }
+
+    #[test]
+    fn zip_pipeline() {
+        let f = a::lam("x", a::zip(a::var("x"), a::enumerate(a::var("x"))));
+        check(&f, &Type::seq(Type::Nat), Value::nat_seq([10, 20, 30]));
+    }
+
+    #[test]
+    fn broadcast_pipeline() {
+        // rho2 via the stdlib derivation (map with captured variable).
+        let f = a::lam(
+            "p",
+            a::app(
+                stdlib::basic::broadcast(),
+                a::pair(a::fst(a::var("p")), a::snd(a::var("p"))),
+            ),
+        );
+        let dom = Type::prod(Type::Nat, Type::seq(Type::Nat));
+        check(&f, &dom, Value::pair(Value::nat(7), Value::nat_seq([1, 2, 3])));
+    }
+
+    #[test]
+    fn bm_route_pipeline() {
+        let f = a::lam(
+            "x",
+            stdlib::routing::bm_route(
+                a::var("x"),
+                a::append(a::singleton(a::nat(2)), a::singleton(a::nat(1))),
+                a::append(a::singleton(a::nat(7)), a::singleton(a::nat(9))),
+            ),
+        );
+        check(
+            &f,
+            &Type::seq(Type::Unit),
+            Value::seq(vec![Value::unit(), Value::unit(), Value::unit()]),
+        );
+    }
+
+    #[test]
+    fn translated_maprec_flattens() {
+        // The grand tour: map-recursion → NSC (Thm 4.2) → NSA (Prop C.1)
+        // → SA (Prop 7.4): rangesum through the whole front half of the
+        // paper's pipeline.
+        use nsc_core::maprec::fixtures::{range, range_sum};
+        use nsc_core::maprec::translate::translate;
+        let def = range_sum();
+        let f = translate(&def);
+        check(&f, &def.dom, range(0, 8));
+    }
+}
+

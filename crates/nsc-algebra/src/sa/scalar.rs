@@ -1,0 +1,222 @@
+//! Scalar types and scalar functions of SA (Appendix D).
+//!
+//! Scalar types: `s ::= unit | N | s × s | s + s` — no sequences.  Scalar
+//! functions are the only things `map` may apply in SA ("map's of scalar
+//! functions"), which is exactly what makes SA *flat*: one `map(φ)` is one
+//! parallel step over fixed-width elements, directly realisable as a block
+//! of elementwise BVRAM instructions.
+
+use nsc_core::ast::{ArithOp, CmpOp};
+use nsc_core::error::EvalError as E;
+use nsc_core::types::Type;
+use nsc_core::value::{Kind, Value};
+use std::rc::Rc;
+
+/// A scalar function.
+#[derive(Clone, Debug)]
+pub enum Scalar {
+    /// Identity.
+    Id,
+    /// Composition `g ∘ f`.
+    Comp(Rc<Scalar>, Rc<Scalar>),
+    /// `! : s → unit`.
+    Bang,
+    /// `n : s → N` (constant).
+    Const(u64),
+    /// `op : N × N → N`.
+    Arith(ArithOp),
+    /// Comparisons `N × N → B`.
+    Cmp(CmpOp),
+    /// First projection.
+    Pi1,
+    /// Second projection.
+    Pi2,
+    /// Pairing `⟨φ, ψ⟩`.
+    PairS(Rc<Scalar>, Rc<Scalar>),
+    /// Left injection; the annotation is the *right* (absent) side type.
+    InlS(Type),
+    /// Right injection; the annotation is the *left* (absent) side type.
+    InrS(Type),
+    /// Sum elimination `φ + ψ`.
+    CaseS(Rc<Scalar>, Rc<Scalar>),
+    /// Distributivity `δ : (s₁+s₂) × s → s₁×s + s₂×s`.
+    DistS,
+}
+
+/// Builders.
+pub mod b {
+    use super::*;
+
+    /// `g ∘ f`.
+    pub fn comp(g: Scalar, f: Scalar) -> Scalar {
+        Scalar::Comp(Rc::new(g), Rc::new(f))
+    }
+
+    /// `⟨f, g⟩`.
+    pub fn pairs(f: Scalar, g: Scalar) -> Scalar {
+        Scalar::PairS(Rc::new(f), Rc::new(g))
+    }
+
+    /// `f + g`.
+    pub fn cases(f: Scalar, g: Scalar) -> Scalar {
+        Scalar::CaseS(Rc::new(f), Rc::new(g))
+    }
+
+    /// Boolean constant as a scalar function (`s → B`).
+    pub fn const_bool(v: bool) -> Scalar {
+        if v {
+            comp(Scalar::InlS(Type::Unit), Scalar::Bang)
+        } else {
+            comp(Scalar::InrS(Type::Unit), Scalar::Bang)
+        }
+    }
+
+    /// `if φ then ψ₁ else ψ₂` = `(ψ₁∘π₂ + ψ₂∘π₂) ∘ δ ∘ ⟨φ, id⟩`.
+    pub fn ifs(cond: Scalar, then_f: Scalar, else_f: Scalar) -> Scalar {
+        comp(
+            cases(comp(then_f, Scalar::Pi2), comp(else_f, Scalar::Pi2)),
+            comp(Scalar::DistS, pairs(cond, Scalar::Id)),
+        )
+    }
+}
+
+/// Is this a scalar type?
+pub fn is_scalar_type(t: &Type) -> bool {
+    match t {
+        Type::Unit | Type::Nat => true,
+        Type::Prod(a, c) | Type::Sum(a, c) => is_scalar_type(a) && is_scalar_type(c),
+        Type::Seq(_) => false,
+    }
+}
+
+/// Applies a scalar function to a scalar value.
+pub fn apply_scalar(f: &Scalar, x: &Value) -> Result<Value, E> {
+    match f {
+        Scalar::Id => Ok(x.clone()),
+        Scalar::Comp(g, f1) => apply_scalar(g, &apply_scalar(f1, x)?),
+        Scalar::Bang => Ok(Value::unit()),
+        Scalar::Const(n) => Ok(Value::nat(*n)),
+        Scalar::Arith(op) => match x.kind() {
+            Kind::Pair(a, c) => match (a.as_nat(), c.as_nat()) {
+                (Some(m), Some(n)) => op.apply(m, n).map(Value::nat).ok_or(E::DivisionByZero),
+                _ => Err(E::Stuck("scalar arith on non-numbers")),
+            },
+            _ => Err(E::Stuck("scalar arith on non-pair")),
+        },
+        Scalar::Cmp(op) => match x.kind() {
+            Kind::Pair(a, c) => match (a.as_nat(), c.as_nat()) {
+                (Some(m), Some(n)) => Ok(Value::bool_(op.apply(m, n))),
+                _ => Err(E::Stuck("scalar cmp on non-numbers")),
+            },
+            _ => Err(E::Stuck("scalar cmp on non-pair")),
+        },
+        Scalar::Pi1 => match x.kind() {
+            Kind::Pair(a, _) => Ok(a.clone()),
+            _ => Err(E::Stuck("scalar pi1")),
+        },
+        Scalar::Pi2 => match x.kind() {
+            Kind::Pair(_, c) => Ok(c.clone()),
+            _ => Err(E::Stuck("scalar pi2")),
+        },
+        Scalar::PairS(f1, f2) => Ok(Value::pair(apply_scalar(f1, x)?, apply_scalar(f2, x)?)),
+        Scalar::InlS(_) => Ok(Value::inl(x.clone())),
+        Scalar::InrS(_) => Ok(Value::inr(x.clone())),
+        Scalar::CaseS(f1, f2) => match x.kind() {
+            Kind::Inl(v) => apply_scalar(f1, v),
+            Kind::Inr(v) => apply_scalar(f2, v),
+            _ => Err(E::Stuck("scalar case on non-sum")),
+        },
+        Scalar::DistS => match x.kind() {
+            Kind::Pair(s, t) => match s.kind() {
+                Kind::Inl(v) => Ok(Value::inl(Value::pair(v.clone(), t.clone()))),
+                Kind::Inr(v) => Ok(Value::inr(Value::pair(v.clone(), t.clone()))),
+                _ => Err(E::Stuck("scalar dist on non-sum")),
+            },
+            _ => Err(E::Stuck("scalar dist on non-pair")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::b::*;
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_projection() {
+        let v = Value::pair(Value::nat(10), Value::nat(3));
+        assert_eq!(
+            apply_scalar(&Scalar::Arith(ArithOp::Monus), &v).unwrap(),
+            Value::nat(7)
+        );
+        assert_eq!(apply_scalar(&Scalar::Pi2, &v).unwrap(), Value::nat(3));
+    }
+
+    #[test]
+    fn conditional_scalar() {
+        // if x <= y then 1 else 0
+        let f = ifs(Scalar::Cmp(CmpOp::Le), Scalar::Const(1), Scalar::Const(0));
+        let v = Value::pair(Value::nat(2), Value::nat(5));
+        assert_eq!(apply_scalar(&f, &v).unwrap(), Value::nat(1));
+        let v = Value::pair(Value::nat(6), Value::nat(5));
+        assert_eq!(apply_scalar(&f, &v).unwrap(), Value::nat(0));
+    }
+
+    #[test]
+    fn sums_and_dist() {
+        let v = Value::pair(Value::inr(Value::nat(4)), Value::nat(9));
+        let d = apply_scalar(&Scalar::DistS, &v).unwrap();
+        assert_eq!(d, Value::inr(Value::pair(Value::nat(4), Value::nat(9))));
+    }
+
+    #[test]
+    fn scalar_type_recognition() {
+        assert!(is_scalar_type(&Type::prod(Type::Nat, Type::bool_())));
+        assert!(!is_scalar_type(&Type::seq(Type::Nat)));
+        assert!(!is_scalar_type(&Type::prod(Type::Nat, Type::seq(Type::Unit))));
+    }
+}
+
+/// Infers the codomain of a scalar function from its domain.
+pub fn scalar_cod(f: &Scalar, dom: &Type) -> Result<Type, E> {
+    match f {
+        Scalar::Id => Ok(dom.clone()),
+        Scalar::Comp(g, f1) => scalar_cod(g, &scalar_cod(f1, dom)?),
+        Scalar::Bang => Ok(Type::Unit),
+        Scalar::Const(_) => Ok(Type::Nat),
+        Scalar::Arith(_) => Ok(Type::Nat),
+        Scalar::Cmp(_) => Ok(Type::bool_()),
+        Scalar::Pi1 => match dom {
+            Type::Prod(a, _) => Ok((**a).clone()),
+            _ => Err(E::Stuck("scalar_cod pi1")),
+        },
+        Scalar::Pi2 => match dom {
+            Type::Prod(_, b) => Ok((**b).clone()),
+            _ => Err(E::Stuck("scalar_cod pi2")),
+        },
+        Scalar::PairS(f1, f2) => Ok(Type::prod(scalar_cod(f1, dom)?, scalar_cod(f2, dom)?)),
+        Scalar::InlS(right) => Ok(Type::sum(dom.clone(), right.clone())),
+        Scalar::InrS(left) => Ok(Type::sum(left.clone(), dom.clone())),
+        Scalar::CaseS(f1, f2) => match dom {
+            Type::Sum(a, b) => {
+                let c1 = scalar_cod(f1, a)?;
+                let c2 = scalar_cod(f2, b)?;
+                if c1 != c2 {
+                    return Err(E::Stuck("scalar_cod case branches differ"));
+                }
+                Ok(c1)
+            }
+            _ => Err(E::Stuck("scalar_cod case")),
+        },
+        Scalar::DistS => match dom {
+            Type::Prod(s, t) => match &**s {
+                Type::Sum(a, b) => Ok(Type::sum(
+                    Type::prod((**a).clone(), (**t).clone()),
+                    Type::prod((**b).clone(), (**t).clone()),
+                )),
+                _ => Err(E::Stuck("scalar_cod dist")),
+            },
+            _ => Err(E::Stuck("scalar_cod dist")),
+        },
+    }
+}

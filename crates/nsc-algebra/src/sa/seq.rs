@@ -1,0 +1,257 @@
+//! The `SEQ(t)` segment-descriptor encoding (section 7.1).
+//!
+//! `SEQ(t)` is a *flat* type that encodes sequences `[t]` of a flat type
+//! `t`, using segment descriptors as in Blelloch's VRAM compilation:
+//!
+//! * `SEQ(unit)    = [N]` — one `0` per element (keeping per-element
+//!   positions lets σ/zip-style operations work uniformly);
+//! * `SEQ([s])     = [N] × [s]` — segment lengths × flattened data;
+//! * `SEQ(t × t')  = SEQ(t) × SEQ(t')` — unzipped;
+//! * `SEQ(t + t')  = [B] × (SEQ(t) × SEQ(t'))` — per-element tags with the
+//!   `inl`/`inr` payloads packed per side.
+//!
+//! [`encode_batch`]/[`decode_batch`] are the reference (Rust-level)
+//! converters used by `COMPILE`'s `encode`/`decode` and by the Map Lemma
+//! tests.
+
+use nsc_core::error::EvalError as E;
+use nsc_core::types::Type;
+use nsc_core::value::{Kind, Value};
+
+/// The flat type `SEQ(t)` for a flat `t`.
+pub fn seq_type(t: &Type) -> Type {
+    match t {
+        Type::Unit => Type::seq(Type::Nat),
+        Type::Seq(s) => Type::prod(Type::seq(Type::Nat), Type::Seq(s.clone())),
+        Type::Prod(a, b) => Type::prod(seq_type(a), seq_type(b)),
+        Type::Sum(a, b) => Type::prod(
+            Type::seq(Type::bool_()),
+            Type::prod(seq_type(a), seq_type(b)),
+        ),
+        Type::Nat => unreachable!("N is not a flat type; scalars live inside [s]"),
+    }
+}
+
+/// Is `t` a flat type (`unit | [scalar] | t×t | t+t`)?
+pub fn is_flat_type(t: &Type) -> bool {
+    match t {
+        Type::Unit => true,
+        Type::Nat => false,
+        Type::Seq(s) => super::scalar::is_scalar_type(s),
+        Type::Prod(a, b) | Type::Sum(a, b) => is_flat_type(a) && is_flat_type(b),
+    }
+}
+
+/// Encodes a batch of flat values of type `t` into one `SEQ(t)` value.
+pub fn encode_batch(vals: &[Value], t: &Type) -> Result<Value, E> {
+    match t {
+        Type::Unit => Ok(Value::seq(vals.iter().map(|_| Value::nat(0)).collect())),
+        Type::Seq(_) => {
+            let mut segs = Vec::with_capacity(vals.len());
+            let mut data = Vec::new();
+            for v in vals {
+                let xs = v.as_seq().ok_or(E::Stuck("encode: expected sequence"))?;
+                segs.push(Value::nat(xs.len() as u64));
+                data.extend_from_slice(xs);
+            }
+            Ok(Value::pair(Value::seq(segs), Value::seq(data)))
+        }
+        Type::Prod(a, b) => {
+            let mut lefts = Vec::with_capacity(vals.len());
+            let mut rights = Vec::with_capacity(vals.len());
+            for v in vals {
+                let (x, y) = v.as_pair().ok_or(E::Stuck("encode: expected pair"))?;
+                lefts.push(x.clone());
+                rights.push(y.clone());
+            }
+            Ok(Value::pair(encode_batch(&lefts, a)?, encode_batch(&rights, b)?))
+        }
+        Type::Sum(a, b) => {
+            let mut tags = Vec::with_capacity(vals.len());
+            let mut lefts = Vec::new();
+            let mut rights = Vec::new();
+            for v in vals {
+                match v.kind() {
+                    Kind::Inl(u) => {
+                        tags.push(Value::bool_(true));
+                        lefts.push(u.clone());
+                    }
+                    Kind::Inr(u) => {
+                        tags.push(Value::bool_(false));
+                        rights.push(u.clone());
+                    }
+                    _ => return Err(E::Stuck("encode: expected sum")),
+                }
+            }
+            Ok(Value::pair(
+                Value::seq(tags),
+                Value::pair(encode_batch(&lefts, a)?, encode_batch(&rights, b)?),
+            ))
+        }
+        Type::Nat => Err(E::Stuck("encode: N is not flat")),
+    }
+}
+
+/// The number of elements a `SEQ(t)` value encodes.
+pub fn batch_len(v: &Value, t: &Type) -> Result<usize, E> {
+    match t {
+        Type::Unit => Ok(v.as_seq().ok_or(E::Stuck("batch_len unit"))?.len()),
+        Type::Seq(_) => {
+            let (segs, _) = v.as_pair().ok_or(E::Stuck("batch_len seq"))?;
+            Ok(segs.as_seq().ok_or(E::Stuck("batch_len segs"))?.len())
+        }
+        Type::Prod(a, _) => {
+            let (x, _) = v.as_pair().ok_or(E::Stuck("batch_len prod"))?;
+            batch_len(x, a)
+        }
+        Type::Sum(_, _) => {
+            let (tags, _) = v.as_pair().ok_or(E::Stuck("batch_len sum"))?;
+            Ok(tags.as_seq().ok_or(E::Stuck("batch_len tags"))?.len())
+        }
+        Type::Nat => Err(E::Stuck("batch_len: N is not flat")),
+    }
+}
+
+/// Decodes a `SEQ(t)` value back into the batch of flat values.
+pub fn decode_batch(v: &Value, t: &Type) -> Result<Vec<Value>, E> {
+    match t {
+        Type::Unit => {
+            let n = v.as_seq().ok_or(E::Stuck("decode unit"))?.len();
+            Ok(vec![Value::unit(); n])
+        }
+        Type::Seq(_) => {
+            let (segs, data) = v.as_pair().ok_or(E::Stuck("decode seq"))?;
+            let segs = segs.as_nat_seq().ok_or(E::Stuck("decode segs"))?;
+            let data = data.as_seq().ok_or(E::Stuck("decode data"))?;
+            let total: u64 = segs.iter().sum();
+            if total != data.len() as u64 {
+                return Err(E::SplitSumMismatch {
+                    have: data.len() as u64,
+                    want: total,
+                });
+            }
+            let mut out = Vec::with_capacity(segs.len());
+            let mut pos = 0usize;
+            for &l in &segs {
+                out.push(Value::seq(data[pos..pos + l as usize].to_vec()));
+                pos += l as usize;
+            }
+            Ok(out)
+        }
+        Type::Prod(a, b) => {
+            let (x, y) = v.as_pair().ok_or(E::Stuck("decode prod"))?;
+            let xs = decode_batch(x, a)?;
+            let ys = decode_batch(y, b)?;
+            if xs.len() != ys.len() {
+                return Err(E::ZipLengthMismatch(xs.len(), ys.len()));
+            }
+            Ok(xs
+                .into_iter()
+                .zip(ys)
+                .map(|(u, w)| Value::pair(u, w))
+                .collect())
+        }
+        Type::Sum(a, b) => {
+            let (tags, sides) = v.as_pair().ok_or(E::Stuck("decode sum"))?;
+            let (l, r) = sides.as_pair().ok_or(E::Stuck("decode sum sides"))?;
+            let tags = tags.as_seq().ok_or(E::Stuck("decode tags"))?;
+            let ls = decode_batch(l, a)?;
+            let rs = decode_batch(r, b)?;
+            let mut li = ls.into_iter();
+            let mut ri = rs.into_iter();
+            let mut out = Vec::with_capacity(tags.len());
+            for tag in tags {
+                match tag.as_bool() {
+                    Some(true) => out.push(Value::inl(
+                        li.next().ok_or(E::Stuck("decode: left side short"))?,
+                    )),
+                    Some(false) => out.push(Value::inr(
+                        ri.next().ok_or(E::Stuck("decode: right side short"))?,
+                    )),
+                    None => return Err(E::Stuck("decode: bad tag")),
+                }
+            }
+            Ok(out)
+        }
+        Type::Nat => Err(E::Stuck("decode: N is not flat")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(vals: Vec<Value>, t: Type) {
+        assert!(is_flat_type(&t), "{t} must be flat");
+        let enc = encode_batch(&vals, &t).unwrap();
+        assert_eq!(batch_len(&enc, &t).unwrap(), vals.len());
+        let dec = decode_batch(&enc, &t).unwrap();
+        assert_eq!(dec, vals);
+        assert!(seq_type(&t).admits(&enc), "encoding inhabits SEQ({t})");
+    }
+
+    #[test]
+    fn unit_batches() {
+        roundtrip(vec![Value::unit(); 4], Type::Unit);
+        roundtrip(vec![], Type::Unit);
+    }
+
+    #[test]
+    fn nat_seq_batches() {
+        roundtrip(
+            vec![
+                Value::nat_seq([1, 2, 3]),
+                Value::nat_seq([]),
+                Value::nat_seq([4]),
+            ],
+            Type::seq(Type::Nat),
+        );
+    }
+
+    #[test]
+    fn product_batches() {
+        let t = Type::prod(Type::seq(Type::Nat), Type::Unit);
+        roundtrip(
+            vec![
+                Value::pair(Value::nat_seq([5]), Value::unit()),
+                Value::pair(Value::nat_seq([6, 7]), Value::unit()),
+            ],
+            t,
+        );
+    }
+
+    #[test]
+    fn sum_batches() {
+        let t = Type::sum(Type::seq(Type::Nat), Type::Unit);
+        roundtrip(
+            vec![
+                Value::inl(Value::nat_seq([1])),
+                Value::inr(Value::unit()),
+                Value::inl(Value::nat_seq([2, 3])),
+            ],
+            t,
+        );
+    }
+
+    #[test]
+    fn nested_seq_encoding_shape() {
+        // SEQ([B]) over tagged scalars
+        let t = Type::seq(Type::bool_());
+        roundtrip(
+            vec![
+                Value::seq(vec![Value::bool_(true), Value::bool_(false)]),
+                Value::seq(vec![]),
+            ],
+            t,
+        );
+    }
+
+    #[test]
+    fn flatness_checks() {
+        assert!(is_flat_type(&Type::Unit));
+        assert!(is_flat_type(&Type::seq(Type::Nat)));
+        assert!(!is_flat_type(&Type::Nat));
+        assert!(!is_flat_type(&Type::seq(Type::seq(Type::Nat))));
+        assert!(is_flat_type(&seq_type(&Type::seq(Type::Nat))));
+    }
+}

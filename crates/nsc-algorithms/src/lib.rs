@@ -1,0 +1,12 @@
+//! # nsc-algorithms — the paper's worked programs
+//!
+//! * [`valiant`] — Valiant's `O(log n log log n)` mergesort exactly as in
+//!   Figures 1–3 (rank/index/√-split machinery, the `O(log log m)` merge,
+//!   the sort) plus the `direct_merge` and `O(n²)` rank-sort baselines;
+//! * [`schemas`] — the section-4 recursion schemas `g` (quicksort),
+//!   `h` (tail recursion), `k` (2-or-3-way split, not *contained* yet
+//!   map-recursive).
+#![warn(missing_docs)]
+
+pub mod schemas;
+pub mod valiant;

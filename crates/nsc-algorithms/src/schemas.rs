@@ -1,0 +1,204 @@
+//! The paper's recursion schemas `g`, `h`, `k` (section 4) as
+//! map-recursive definitions, including the **non-contained** `k`.
+
+use nsc_core::ast::*;
+use nsc_core::maprec::MapRecDef;
+use nsc_core::stdlib::lists::nth;
+use nsc_core::types::Type;
+
+/// Schema `g` — binary divide and conquer, instantiated as **quicksort**
+/// ("Quicksort has this form"): pivot on the head; the pivot travels as a
+/// singleton middle child so the combine is pure concatenation.
+pub fn quicksort_def() -> MapRecDef {
+    let dom = Type::seq(Type::Nat);
+    let pred = lam("x", le(length(var("x")), nat(1)));
+    let solve = lam("x", var("x"));
+    let divide = lam(
+        "x",
+        let_in(
+            "p",
+            nsc_core::stdlib::lists::first(var("x"), &Type::Nat),
+            let_in(
+                "rest",
+                nsc_core::stdlib::lists::tail(var("x"), &Type::Nat),
+                append(
+                    singleton(app(
+                        nsc_core::stdlib::basic::filter(
+                            lam("y", lt(var("y"), var("p"))),
+                            &Type::Nat,
+                        ),
+                        var("rest"),
+                    )),
+                    append(
+                        singleton(singleton(var("p"))),
+                        singleton(app(
+                            nsc_core::stdlib::basic::filter(
+                                lam("y", le(var("p"), var("y"))),
+                                &Type::Nat,
+                            ),
+                            var("rest"),
+                        )),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let combine = lam("rs", flatten(var("rs")));
+    MapRecDef {
+        name: ident("quicksort"),
+        dom,
+        cod: Type::seq(Type::Nat),
+        pred,
+        solve,
+        divide,
+        combine,
+    }
+}
+
+/// Schema `h` — tail recursion ("the list will have length 1"): iterated
+/// halving that counts the steps, `h(n) = 1 + h(n/2)`.
+pub fn log_steps_def() -> MapRecDef {
+    let dom = Type::Nat;
+    let pred = lam("x", le(var("x"), nat(1)));
+    let solve = lam("x", nat(0));
+    let divide = lam("x", singleton(rshift(var("x"), nat(1))));
+    let combine = lam("rs", add(nat(1), nth(var("rs"), nat(0), &Type::Nat)));
+    MapRecDef {
+        name: ident("log_steps"),
+        dom,
+        cod: Type::Nat,
+        pred,
+        solve,
+        divide,
+        combine,
+    }
+}
+
+/// Schema `k` — two **or three** subproblems depending on the input, the
+/// paper's example of a function that is *not contained* in Blelloch's
+/// sense yet is map-recursive: a weighted range sum that splits ranges
+/// divisible by 3 three ways and others two ways.
+pub fn uneven_sum_def() -> MapRecDef {
+    let dom = Type::prod(Type::Nat, Type::Nat);
+    let pred = lam("r", le(monus(snd(var("r")), fst(var("r"))), nat(1)));
+    let solve = lam(
+        "r",
+        cond(
+            eq(monus(snd(var("r")), fst(var("r"))), nat(1)),
+            fst(var("r")),
+            nat(0),
+        ),
+    );
+    let divide = lam(
+        "r",
+        let_in(
+            "lo",
+            fst(var("r")),
+            let_in(
+                "hi",
+                snd(var("r")),
+                let_in(
+                    "w",
+                    monus(var("hi"), var("lo")),
+                    cond(
+                        eq(modulo(var("w"), nat(3)), nat(0)),
+                        // three children
+                        append(
+                            singleton(pair(var("lo"), add(var("lo"), div(var("w"), nat(3))))),
+                            append(
+                                singleton(pair(
+                                    add(var("lo"), div(var("w"), nat(3))),
+                                    add(var("lo"), mul(nat(2), div(var("w"), nat(3)))),
+                                )),
+                                singleton(pair(
+                                    add(var("lo"), mul(nat(2), div(var("w"), nat(3)))),
+                                    var("hi"),
+                                )),
+                            ),
+                        ),
+                        // two children
+                        append(
+                            singleton(pair(
+                                var("lo"),
+                                add(var("lo"), max(nat(1), rshift(var("w"), nat(1)))),
+                            )),
+                            singleton(pair(
+                                add(var("lo"), max(nat(1), rshift(var("w"), nat(1)))),
+                                var("hi"),
+                            )),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let combine = lam("rs", nsc_core::stdlib::numeric::sum_seq(var("rs")));
+    MapRecDef {
+        name: ident("uneven_sum"),
+        dom,
+        cod: Type::Nat,
+        pred,
+        solve,
+        divide,
+        combine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::eval::apply_func;
+    use nsc_core::maprec::direct::eval_maprec;
+    use nsc_core::maprec::translate::translate;
+    use nsc_core::value::Value;
+
+    #[test]
+    fn quicksort_sorts_directly_and_translated() {
+        let def = quicksort_def();
+        def.check().unwrap();
+        let xs: Vec<u64> = (0..24).map(|i| (i * 29 + 3) % 40).collect();
+        let mut want = xs.clone();
+        want.sort();
+        let arg = Value::nat_seq(xs.iter().copied());
+        let want_v = Value::nat_seq(want.iter().copied());
+        assert_eq!(eval_maprec(&def, arg.clone()).unwrap().value, want_v);
+        let f = translate(&def);
+        assert_eq!(apply_func(&f, arg).unwrap().0, want_v);
+    }
+
+    #[test]
+    fn tail_recursion_h_schema() {
+        let def = log_steps_def();
+        def.check().unwrap();
+        let out = eval_maprec(&def, Value::nat(1024)).unwrap();
+        assert_eq!(out.value, Value::nat(10));
+        let f = translate(&def);
+        assert_eq!(apply_func(&f, Value::nat(1024)).unwrap().0, Value::nat(10));
+    }
+
+    #[test]
+    fn uneven_k_schema_sums_ranges() {
+        let def = uneven_sum_def();
+        def.check().unwrap();
+        for (lo, hi) in [(0u64, 9), (0, 16), (3, 30)] {
+            let want: u64 = (lo..hi).sum();
+            let arg = Value::pair(Value::nat(lo), Value::nat(hi));
+            assert_eq!(
+                eval_maprec(&def, arg.clone()).unwrap().value,
+                Value::nat(want)
+            );
+            let f = translate(&def);
+            assert_eq!(apply_func(&f, arg).unwrap().0, Value::nat(want));
+        }
+    }
+
+    #[test]
+    fn quicksort_on_sorted_input_is_unbalanced() {
+        // Sorted input = worst-case pivot = staircase tree: many leaf
+        // levels (the Theorem 4.2 staging motivation).
+        let def = quicksort_def();
+        let xs: Vec<u64> = (0..16).collect();
+        let out = eval_maprec(&def, Value::nat_seq(xs)).unwrap();
+        assert!(out.stats.leaf_levels > 8);
+    }
+}

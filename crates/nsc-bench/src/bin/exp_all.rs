@@ -1,0 +1,4 @@
+//! Harness binary for EXP-ALL.
+fn main() {
+    nsc_bench::run_all();
+}

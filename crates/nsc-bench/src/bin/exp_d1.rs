@@ -1,0 +1,4 @@
+//! Harness binary for EXP-D1.
+fn main() {
+    nsc_bench::exp_d1();
+}

@@ -1,0 +1,4 @@
+//! Harness binary for EXP-FIG123.
+fn main() {
+    nsc_bench::exp_fig123();
+}

@@ -1,0 +1,4 @@
+//! Harness binary for EXP-L72.
+fn main() {
+    nsc_bench::exp_l72();
+}

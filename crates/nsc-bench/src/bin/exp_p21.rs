@@ -1,0 +1,4 @@
+//! Harness binary for EXP-P21.
+fn main() {
+    nsc_bench::exp_p21();
+}

@@ -1,0 +1,4 @@
+//! Harness binary for EXP-P32.
+fn main() {
+    nsc_bench::exp_p32();
+}

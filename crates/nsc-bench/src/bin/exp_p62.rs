@@ -1,0 +1,4 @@
+//! Harness binary for EXP-P62.
+fn main() {
+    nsc_bench::exp_p62();
+}

@@ -1,0 +1,4 @@
+//! Harness binary for EXP-T42.
+fn main() {
+    nsc_bench::exp_t42();
+}

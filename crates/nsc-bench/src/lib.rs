@@ -1,0 +1,405 @@
+//! # nsc-bench — experiment harnesses
+//!
+//! One function per evaluation artifact of the paper; each prints a
+//! markdown table of paper-claim vs measured shape.  The `exp_all` binary
+//! runs everything (and is what `EXPERIMENTS.md` records).
+
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+use nsc_core::maprec::direct::eval_maprec;
+use nsc_core::maprec::fixtures;
+use nsc_core::maprec::staged::translate_staged;
+use nsc_core::maprec::translate::translate;
+use nsc_core::value::Value;
+use nsc_core::Type;
+
+fn row(cols: &[String]) {
+    println!("| {} |", cols.join(" | "));
+}
+
+fn header(cols: &[&str]) {
+    row(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// EXP-FIG123 — Valiant's mergesort (Figures 1–3, section 5):
+/// `T(n)/(log n · log log n)` and `W(n)/(n log n)` should flatten; the
+/// direct-merge baseline's `T(n)/log² n` flattens instead.
+pub fn exp_fig123() {
+    println!("\n## EXP-FIG123: Valiant mergesort (Figures 1-3)\n");
+    println!("claim: T = O(log n log log n); direct-merge baseline T = O(log^2 n)\n");
+    let val = nsc_algorithms::valiant::mergesort_def();
+    let dir = nsc_algorithms::valiant::direct_mergesort_def();
+    header(&[
+        "n",
+        "T_valiant",
+        "T/(lg n lglg n)",
+        "W/(n lg n)",
+        "T_direct",
+        "T_direct/lg^2 n",
+    ]);
+    for n in [16u64, 32, 64, 128, 256] {
+        let xs: Vec<u64> = (0..n).map(|i| (i * 2654435761) % 1000).collect();
+        let arg = Value::nat_seq(xs.clone());
+        let v = eval_maprec(&val, arg.clone()).unwrap();
+        let d = eval_maprec(&dir, arg).unwrap();
+        let lg = (n as f64).log2();
+        let lglg = lg.log2().max(1.0);
+        row(&[
+            n.to_string(),
+            v.cost.time.to_string(),
+            format!("{:.1}", v.cost.time as f64 / (lg * lglg)),
+            format!("{:.1}", v.cost.work as f64 / (n as f64 * lg)),
+            d.cost.time.to_string(),
+            format!("{:.1}", d.cost.time as f64 / (lg * lg)),
+        ]);
+    }
+}
+
+/// EXP-T42 — Theorem 4.2: map-recursion → NSC preserves `T` and bounds
+/// `W'`; balanced trees keep `W' = O(W)`, and on the unbalanced staircase
+/// the ε-staged variant grows strictly slower than the plain one.
+pub fn exp_t42() {
+    println!("\n## EXP-T42: Theorem 4.2 (map-recursion translation)\n");
+    println!("claim: T' = O(T); W' = O(W) balanced; staged W' = O(W^(1+eps)) unbalanced\n");
+    println!("### balanced (rangesum)\n");
+    let def = fixtures::range_sum();
+    let plain = translate(&def);
+    header(&["n", "T", "T'", "T'/T", "W", "W'", "W'/W"]);
+    for n in [64u64, 256, 1024] {
+        let arg = fixtures::range(0, n);
+        let d = eval_maprec(&def, arg.clone()).unwrap();
+        let (_, c) = nsc_core::eval::apply_func(&plain, arg).unwrap();
+        row(&[
+            n.to_string(),
+            d.cost.time.to_string(),
+            c.time.to_string(),
+            format!("{:.2}", c.time as f64 / d.cost.time as f64),
+            d.cost.work.to_string(),
+            c.work.to_string(),
+            format!("{:.2}", c.work as f64 / d.cost.work as f64),
+        ]);
+    }
+    println!("\n### unbalanced (staircase, v = depth): plain vs staged\n");
+    let def = fixtures::staircase();
+    let plain = translate(&def);
+    header(&["n", "W_source", "W'_plain", "W'_k2", "W'_k3"]);
+    for n in [32u64, 64, 128, 256] {
+        let arg = fixtures::range(0, n);
+        let d = eval_maprec(&def, arg.clone()).unwrap();
+        let wp = nsc_core::eval::apply_func(&plain, arg.clone()).unwrap().1.work;
+        let w2 = nsc_core::eval::apply_func(&translate_staged(&def, 2), arg.clone())
+            .unwrap()
+            .1
+            .work;
+        let w3 = nsc_core::eval::apply_func(&translate_staged(&def, 3), arg)
+            .unwrap()
+            .1
+            .work;
+        row(&[
+            n.to_string(),
+            d.cost.work.to_string(),
+            wp.to_string(),
+            w2.to_string(),
+            w3.to_string(),
+        ]);
+    }
+}
+
+/// EXP-T71 — Theorem 7.1: the full NSC → BVRAM compilation agrees with the
+/// source semantics, keeps `T' = O(T)`, and its register count is fixed.
+pub fn exp_t71() {
+    println!("\n## EXP-T71: Theorem 7.1 (compilation to the BVRAM)\n");
+    println!("claim: outputs agree; T' = O(T); registers independent of input\n");
+    use nsc_core::ast as a;
+    let suite: Vec<(&str, nsc_core::Func)> = vec![
+        (
+            "map(x*x+1)",
+            a::map(a::lam(
+                "x",
+                a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+            )),
+        ),
+        (
+            "sum (while)",
+            a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x"))),
+        ),
+        (
+            "map(while halve)",
+            a::map(a::while_(
+                a::lam("x", a::lt(a::nat(0), a::var("x"))),
+                a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+            )),
+        ),
+    ];
+    header(&["program", "n", "T", "T'", "T'/T", "W", "W'", "regs"]);
+    for (name, f) in suite {
+        let dom = Type::seq(Type::Nat);
+        let c = nsc_compile::compile_nsc(&f, &dom).unwrap();
+        for n in [32u64, 128, 512] {
+            let arg = Value::nat_seq(0..n);
+            let (want, src) = nsc_core::eval::apply_func(&f, arg.clone()).unwrap();
+            let (got, tgt) = nsc_compile::run_compiled(&c, &arg).unwrap();
+            assert_eq!(got, want, "{name} disagrees at n={n}");
+            row(&[
+                name.to_string(),
+                n.to_string(),
+                src.time.to_string(),
+                tgt.time.to_string(),
+                format!("{:.2}", tgt.time as f64 / src.time as f64),
+                src.work.to_string(),
+                tgt.work.to_string(),
+                c.program.n_regs.to_string(),
+            ]);
+        }
+    }
+}
+
+/// EXP-P21 — Proposition 2.1: each BVRAM instruction class runs in
+/// `O(log n)` butterfly steps with oblivious (congestion-1) routing.
+pub fn exp_p21() {
+    println!("\n## EXP-P21: Proposition 2.1 (butterfly implementation)\n");
+    println!("claim: steps = O(log n) on n log n nodes; congestion 1 (oblivious)\n");
+    use butterfly::{simulate_instr, InstrClass};
+    header(&["class", "n", "steps", "steps/lg n", "max congestion"]);
+    for class in [
+        InstrClass::Arith,
+        InstrClass::Append,
+        InstrClass::BmRoute,
+        InstrClass::SbmRoute,
+        InstrClass::Select,
+    ] {
+        for n in [1usize << 8, 1 << 12, 1 << 16] {
+            let s = simulate_instr(class, n);
+            row(&[
+                format!("{class:?}"),
+                n.to_string(),
+                s.steps.to_string(),
+                format!("{:.2}", s.steps as f64 / (n as f64).log2()),
+                s.max_congestion.to_string(),
+            ]);
+        }
+    }
+}
+
+/// EXP-P32 — Proposition 3.2: Brent-scheduled CREW-with-scan cycles stay
+/// within a constant of `T + W/p` across a `p` sweep.
+pub fn exp_p32() {
+    println!("\n## EXP-P32: Proposition 3.2 (CREW+scan simulation)\n");
+    println!("claim: cycles = O(T + W/p) for every p\n");
+    let f = nsc_core::ast::lam(
+        "x",
+        nsc_core::stdlib::numeric::prefix_sum(nsc_core::ast::var("x")),
+    );
+    let c = nsc_compile::compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+    let arg = Value::nat_seq(0..2048);
+    let enc = nsc_algebra::sa::flatten::encode(&arg, &Type::seq(Type::Nat)).unwrap();
+    let regs = nsc_compile::layout::value_to_regs(
+        &enc,
+        &nsc_algebra::sa::flatten::compile_type(&Type::seq(Type::Nat)),
+    )
+    .unwrap();
+    header(&["p", "cycles", "T", "W", "T + W/p", "ratio"]);
+    for p in [1u64, 4, 16, 64, 256, 1024, 1 << 16] {
+        let s = pram::run_brent(&c.program, &regs, p).unwrap();
+        row(&[
+            p.to_string(),
+            s.cycles.to_string(),
+            s.time.to_string(),
+            s.work.to_string(),
+            format!("{:.0}", s.brent_bound()),
+            format!("{:.2}", s.ratio()),
+        ]);
+    }
+}
+
+/// EXP-P62 — Propositions 6.1/6.2: NC-style scaling — polylog `T(n)` and
+/// polynomial `W(n)` for the suite (growth per 4× n reported).
+pub fn exp_p62() {
+    println!("\n## EXP-P62: Proposition 6.2 (NC scaling)\n");
+    println!("claim: polylog T, polynomial W (growth per 4x n shown)\n");
+    let sum = nsc_core::ast::lam(
+        "x",
+        nsc_core::stdlib::numeric::sum_seq(nsc_core::ast::var("x")),
+    );
+    let scan = nsc_core::ast::lam(
+        "x",
+        nsc_core::stdlib::numeric::prefix_sum(nsc_core::ast::var("x")),
+    );
+    header(&["program", "n", "T", "W", "T growth", "W growth"]);
+    for (name, f) in [("tree sum", &sum), ("prefix scan", &scan)] {
+        let mut prev: Option<(u64, u64)> = None;
+        for n in [64u64, 256, 1024, 4096] {
+            let (_, c) = nsc_core::eval::apply_func(f, Value::nat_seq(0..n)).unwrap();
+            let (tg, wg) = prev
+                .map(|(t, w)| {
+                    (
+                        format!("{:.2}", c.time as f64 / t as f64),
+                        format!("{:.2}", c.work as f64 / w as f64),
+                    )
+                })
+                .unwrap_or(("-".into(), "-".into()));
+            row(&[
+                name.to_string(),
+                n.to_string(),
+                c.time.to_string(),
+                c.work.to_string(),
+                tg,
+                wg,
+            ]);
+            prev = Some((c.time, c.work));
+        }
+    }
+}
+
+/// EXP-L72 — Lemma 7.2: `SEQ(while)` batches per-element loops with a
+/// fixed structure; work scales with the true iteration mass, time with
+/// the deepest element (plus the documented `O(log n)` reorder).
+pub fn exp_l72() {
+    println!("\n## EXP-L72: Lemma 7.2 (the Map Lemma on while)\n");
+    println!("claim: SEQ(while) time ~ max iterations + O(log n); work ~ total iterations\n");
+    use nsc_algebra::nsa::from_nsc::func_to_nsa;
+    use nsc_algebra::sa::flatten::{compile, encode};
+    let f = nsc_core::ast::map(nsc_core::ast::while_(
+        nsc_core::ast::lam(
+            "x",
+            nsc_core::ast::lt(nsc_core::ast::nat(0), nsc_core::ast::var("x")),
+        ),
+        nsc_core::ast::lam(
+            "x",
+            nsc_core::ast::monus(nsc_core::ast::var("x"), nsc_core::ast::nat(1)),
+        ),
+    ));
+    let dom = Type::seq(Type::Nat);
+    let nsa = func_to_nsa(&f).unwrap();
+    let (sa, _) = compile(&nsa, &dom).unwrap();
+    header(&["workload", "n", "max t_i", "SA time", "SA work"]);
+    let workloads: Vec<(&str, Box<dyn Fn(u64) -> Value>)> = vec![
+        (
+            "uniform t_i = 8",
+            Box::new(|n: u64| Value::nat_seq((0..n).map(|_| 8))),
+        ),
+        (
+            "one straggler t=64",
+            Box::new(|n: u64| Value::nat_seq((0..n).map(|i| if i == 0 { 64 } else { 2 }))),
+        ),
+        (
+            "skewed t_i = i mod 16",
+            Box::new(|n: u64| Value::nat_seq((0..n).map(|i| i % 16))),
+        ),
+    ];
+    for (name, mk) in workloads {
+        for n in [64u64, 256] {
+            let arg = mk(n);
+            let maxt = arg.as_nat_seq().unwrap().iter().copied().max().unwrap_or(0);
+            let enc = encode(&arg, &dom).unwrap();
+            let (_, c) = nsc_algebra::sa::apply_sa(&sa, &enc).unwrap();
+            row(&[
+                name.to_string(),
+                n.to_string(),
+                maxt.to_string(),
+                c.time.to_string(),
+                c.work.to_string(),
+            ]);
+        }
+    }
+}
+
+/// EXP-L72b — Lemma 7.2's ε-staging ablation: simple (per-round buffer
+/// churn) vs the two-buffer staged batched while on a straggler workload
+/// with payload-heavy early finishers.
+pub fn exp_l72_staging() {
+    println!("\n## EXP-L72b: Lemma 7.2 staging ablation (simple vs V1/V2)\n");
+    println!("claim: staging trades a 2x probe for per-stage (not per-round) buffer flushes\n");
+    use nsc_algebra::sa::map_lemma::{seq_lift, seq_while_staged};
+    use nsc_algebra::sa::scalar::{b as sb, Scalar};
+    use nsc_algebra::sa::b::*;
+    use nsc_algebra::sa::Sa;
+    use nsc_algebra::sa::seq::encode_batch;
+    use nsc_core::ast::{ArithOp, CmpOp};
+    let t = Type::seq(Type::Nat);
+    let gt0 = sb::comp(
+        Scalar::Cmp(CmpOp::Lt),
+        sb::pairs(sb::comp(Scalar::Const(0), Scalar::Bang), Scalar::Id),
+    );
+    let p = comp(
+        nsc_algebra::sa::map_lemma::not_flat(),
+        comp(
+            Sa::EmptyTest,
+            comp(
+                Sa::Sigma1,
+                maps(sb::comp(
+                    sb::cases(Scalar::InlS(Type::Unit), Scalar::InrS(Type::Unit)),
+                    sb::comp(gt0, Scalar::Id),
+                )),
+            ),
+        ),
+    );
+    let g = maps(sb::comp(
+        Scalar::Arith(ArithOp::Monus),
+        sb::pairs(Scalar::Id, sb::comp(Scalar::Const(1), Scalar::Bang)),
+    ));
+    let (sp, _) = seq_lift(&p, &t).unwrap();
+    let (sg, _) = seq_lift(&g, &t).unwrap();
+    let (simple, _) = nsc_algebra::sa::map_lemma::seq_while_simple(&t, sp.clone(), sg.clone()).unwrap();
+    let (staged, _) = seq_while_staged(&t, sp, sg, 2).unwrap();
+    header(&["fat payload", "straggler R", "W simple", "W staged k=2", "staged/simple"]);
+    for (fat, rounds) in [(60u64, 200u64), (60, 800), (200, 800), (200, 2000)] {
+        let batch: Vec<Value> = (0..16u64)
+            .map(|i| {
+                if i == 7 {
+                    Value::nat_seq([rounds])
+                } else {
+                    Value::nat_seq(std::iter::repeat_n(1u64, fat as usize))
+                }
+            })
+            .collect();
+        let enc = encode_batch(&batch, &t).unwrap();
+        let (_, cs) = nsc_algebra::sa::apply_sa(&simple, &enc).unwrap();
+        let (_, cg) = nsc_algebra::sa::apply_sa(&staged, &enc).unwrap();
+        row(&[
+            fat.to_string(),
+            rounds.to_string(),
+            cs.work.to_string(),
+            cg.work.to_string(),
+            format!("{:.2}", cg.work as f64 / cs.work as f64),
+        ]);
+    }
+}
+
+/// EXP-D1 — Example D.1: `combine` in SA on the paper's shape, plus its
+/// `T = O(1)`, `W = O(n)` scaling.
+pub fn exp_d1() {
+    println!("\n## EXP-D1: Example D.1 (combine in SA)\n");
+    println!("claim: combine is O(1) time, O(n) work\n");
+    use nsc_algebra::sa::map_lemma::merge_leaf;
+    let f = merge_leaf(&Type::Nat);
+    header(&["n", "time", "work", "work/n"]);
+    for n in [8u64, 64, 512, 4096] {
+        let flags = Value::seq((0..n).map(|i| Value::bool_(i % 3 != 0)).collect());
+        let x = Value::nat_seq((0..n).filter(|i| i % 3 != 0));
+        let y = Value::nat_seq((0..n).filter(|i| i % 3 == 0));
+        let arg = Value::pair(flags, Value::pair(x, y));
+        let (_, c) = nsc_algebra::sa::apply_sa(&f, &arg).unwrap();
+        row(&[
+            n.to_string(),
+            c.time.to_string(),
+            c.work.to_string(),
+            format!("{:.1}", c.work as f64 / n as f64),
+        ]);
+    }
+}
+
+/// Runs every experiment in order.
+pub fn run_all() {
+    exp_fig123();
+    exp_t42();
+    exp_t71();
+    exp_p21();
+    exp_p32();
+    exp_p62();
+    exp_l72();
+    exp_l72_staging();
+    exp_d1();
+}

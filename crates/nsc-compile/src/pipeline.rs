@@ -1,0 +1,166 @@
+//! **Theorem 7.1** end to end: NSC → NSA → SA → BVRAM.
+//!
+//! [`compile_nsc`] chains the paper's whole compilation:
+//!
+//! 1. variable elimination (Proposition C.1, `nsc_algebra::nsa`),
+//! 2. flattening with the Map Lemma (Proposition 7.4, `nsc_algebra::sa`),
+//! 3. code generation onto the bounded-register machine
+//!    (Proposition 7.5, [`crate::codegen`]).
+//!
+//! [`run_compiled`] executes a compiled program on an NSC value (encoding
+//! through `COMPILE(s)` and the register layout) and reports the BVRAM
+//! `T'/W'` next to the NSC source costs, which is what EXP-T71 sweeps.
+
+use crate::codegen::compile_sa;
+use crate::layout::{regs_to_value, value_to_regs};
+use bvram::{Machine, Program};
+use nsc_algebra::nsa::from_nsc::func_to_nsa;
+use nsc_algebra::sa::flatten::{compile, compile_type, decode, encode};
+use nsc_core::cost::Cost;
+use nsc_core::error::EvalError as E;
+use nsc_core::types::Type;
+use nsc_core::value::Value;
+use nsc_core::Func;
+
+/// A fully compiled NSC function.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The BVRAM program.
+    pub program: Program,
+    /// NSC domain type.
+    pub dom: Type,
+    /// NSC codomain type.
+    pub cod: Type,
+}
+
+/// Compiles a closed NSC function `f : dom → cod` down to the BVRAM.
+pub fn compile_nsc(f: &Func, dom: &Type) -> Result<Compiled, E> {
+    let nsa = func_to_nsa(f).map_err(|_| E::Stuck("NSC -> NSA translation failed"))?;
+    let (sa, cod) = compile(&nsa, dom)?;
+    let (program, sa_cod) = compile_sa(&sa, &compile_type(dom))?;
+    debug_assert_eq!(sa_cod, compile_type(&cod));
+    Ok(Compiled {
+        program,
+        dom: dom.clone(),
+        cod,
+    })
+}
+
+/// Runs a compiled program on an NSC value; returns the decoded NSC result
+/// and the machine's `(T, W)`.
+pub fn run_compiled(c: &Compiled, arg: &Value) -> Result<(Value, Cost), E> {
+    let enc = encode(arg, &c.dom)?;
+    let regs = value_to_regs(&enc, &compile_type(&c.dom))?;
+    let out = Machine::new(c.program.n_regs)
+        .run(&c.program, &regs)
+        .map_err(|_| E::Omega)?;
+    let flat = regs_to_value(&out.outputs, &compile_type(&c.cod))?;
+    let val = decode(&flat, &c.cod)?;
+    Ok((val, Cost::new(out.stats.time, out.stats.work)))
+}
+
+/// Differential run: NSC evaluator vs compiled BVRAM; returns
+/// `(value, source cost, target cost)` after asserting the values agree.
+pub fn differential(f: &Func, dom: &Type, arg: Value) -> Result<(Value, Cost, Cost), E> {
+    let (want, src) = nsc_core::eval::apply_func(f, arg.clone())?;
+    let c = compile_nsc(f, dom)?;
+    let (got, tgt) = run_compiled(&c, &arg)?;
+    if got != want {
+        return Err(E::Stuck("compiled program disagrees with NSC semantics"));
+    }
+    Ok((got, src, tgt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::ast as a;
+    use nsc_core::stdlib;
+
+    #[test]
+    fn scalar_function_end_to_end() {
+        let f = a::lam("x", a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)));
+        let (v, _, _) = differential(&f, &Type::Nat, Value::nat(6)).unwrap();
+        assert_eq!(v, Value::nat(37));
+    }
+
+    #[test]
+    fn map_end_to_end() {
+        let f = a::map(a::lam("x", a::mul(a::var("x"), a::nat(3))));
+        let (v, _, _) =
+            differential(&f, &Type::seq(Type::Nat), Value::nat_seq(0..8)).unwrap();
+        assert_eq!(v, Value::nat_seq((0..8).map(|x| 3 * x)));
+    }
+
+    #[test]
+    fn nested_sequences_end_to_end() {
+        let f = a::lam("x", a::flatten(a::var("x")));
+        let arg = Value::seq(vec![
+            Value::nat_seq([1, 2]),
+            Value::nat_seq([]),
+            Value::nat_seq([3]),
+        ]);
+        let (v, _, _) = differential(&f, &Type::seq(Type::seq(Type::Nat)), arg).unwrap();
+        assert_eq!(v, Value::nat_seq([1, 2, 3]));
+    }
+
+    #[test]
+    fn while_under_map_end_to_end() {
+        // The full Theorem 7.1 pipeline on the Map Lemma's hard case.
+        let f = a::map(a::while_(
+            a::lam("x", a::lt(a::nat(0), a::var("x"))),
+            a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+        ));
+        let (v, _src, _tgt) =
+            differential(&f, &Type::seq(Type::Nat), Value::nat_seq([9, 0, 100, 3])).unwrap();
+        assert_eq!(v, Value::nat_seq([0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn stdlib_sum_end_to_end() {
+        let f = a::lam("x", stdlib::numeric::sum_seq(a::var("x")));
+        let (v, src, tgt) =
+            differential(&f, &Type::seq(Type::Nat), Value::nat_seq(0..20)).unwrap();
+        assert_eq!(v, Value::nat(190));
+        assert!(tgt.time > 0 && src.time > 0);
+    }
+
+    #[test]
+    fn compiled_time_tracks_source_time() {
+        // T' = O(T): the ratio stays bounded as n doubles.
+        let f = a::lam("x", stdlib::numeric::sum_seq(a::var("x")));
+        let c = compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+        let ratio = |n: u64| {
+            let arg = Value::nat_seq(0..n);
+            let (_, src) = nsc_core::eval::apply_func(&f, arg.clone()).unwrap();
+            let (_, tgt) = run_compiled(&c, &arg).unwrap();
+            tgt.time as f64 / src.time as f64
+        };
+        let r64 = ratio(64);
+        let r512 = ratio(512);
+        assert!(
+            r512 < r64 * 1.5 + 1.0,
+            "T'/T should stay bounded: {r64:.2} -> {r512:.2}"
+        );
+    }
+
+    #[test]
+    fn errors_propagate_as_machine_faults() {
+        let f = a::lam("x", a::get(a::var("x"))); // Omega on non-singletons
+        let c = compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+        assert!(run_compiled(&c, &Value::nat_seq([1, 2])).is_err());
+        let (v, _) = run_compiled(&c, &Value::nat_seq([7])).unwrap();
+        assert_eq!(v, Value::nat(7));
+    }
+
+    #[test]
+    fn register_count_independent_of_input_size() {
+        let f = a::map(a::lam("x", a::add(a::var("x"), a::nat(1))));
+        let c = compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+        let n_regs = c.program.n_regs;
+        for n in [0u64, 1, 100, 10_000] {
+            let (_, _) = run_compiled(&c, &Value::nat_seq(0..n)).unwrap();
+        }
+        assert_eq!(c.program.n_regs, n_regs);
+    }
+}

@@ -1,0 +1,125 @@
+//! Parallel time and work complexity accounting (Definition 3.1).
+//!
+//! Every evaluation judgment in the operational semantics is assigned a
+//! **parallel time complexity** `T` and a **work complexity** `W`:
+//!
+//! * for an ordinary rule, `T = 1 + Σ T(premises)` and
+//!   `W = SIZE + Σ W(premises)`, where `SIZE` is the total size of all
+//!   S-objects mentioned in the rule (premises, conclusion, environments);
+//! * for the `map` rule, `T = 1 + max T(premises)` — the applications run
+//!   in parallel;
+//! * for the `while` rule, the final output is *not* charged at every
+//!   iteration (only `size(C) + size(C')` per step).
+//!
+//! `Cost` is the `(T, W)` pair with the combinators the rules need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A `(time, work)` complexity pair.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Cost {
+    /// Parallel time complexity `T`: derivation depth with parallel `map`.
+    pub time: u64,
+    /// Work complexity `W`: total size of S-objects touched.
+    pub work: u64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost { time: 0, work: 0 };
+
+    /// Cost of a single rule application touching objects of total size `size`.
+    pub fn rule(size: u64) -> Cost {
+        Cost { time: 1, work: size }
+    }
+
+    /// Constructs a cost from components.
+    pub fn new(time: u64, work: u64) -> Cost {
+        Cost { time, work }
+    }
+
+    /// Sequential composition: times and works both add.
+    pub fn seq(self, other: Cost) -> Cost {
+        Cost {
+            time: self.time + other.time,
+            work: self.work + other.work,
+        }
+    }
+
+    /// Parallel composition (the `map` rule): time is the max, work adds.
+    pub fn par(self, other: Cost) -> Cost {
+        Cost {
+            time: self.time.max(other.time),
+            work: self.work + other.work,
+        }
+    }
+
+    /// Parallel combination of many costs: `T = max`, `W = Σ`.
+    pub fn par_all<I: IntoIterator<Item = Cost>>(costs: I) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::par)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        self.seq(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Cost::seq)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T={} W={}", self.time, self.work)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T={} W={}", self.time, self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_adds_both() {
+        let a = Cost::new(2, 10);
+        let b = Cost::new(3, 7);
+        assert_eq!(a + b, Cost::new(5, 17));
+    }
+
+    #[test]
+    fn par_maxes_time_adds_work() {
+        let a = Cost::new(2, 10);
+        let b = Cost::new(5, 7);
+        assert_eq!(a.par(b), Cost::new(5, 17));
+        assert_eq!(Cost::par_all([a, b, Cost::new(1, 1)]), Cost::new(5, 18));
+    }
+
+    #[test]
+    fn rule_is_one_step() {
+        assert_eq!(Cost::rule(9), Cost::new(1, 9));
+    }
+
+    #[test]
+    fn sum_is_sequential() {
+        let total: Cost = [Cost::new(1, 2), Cost::new(3, 4)].into_iter().sum();
+        assert_eq!(total, Cost::new(4, 6));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for type checking and evaluation.
+
+use crate::types::Type;
+use std::fmt;
+
+/// A static (type-checking) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was not bound in the type context.
+    UnboundVariable(String),
+    /// A named function was not found in the function table.
+    UnknownFunction(String),
+    /// Two types that must coincide do not.
+    Mismatch {
+        /// Where the mismatch occurred.
+        context: &'static str,
+        /// The type that was required.
+        expected: Type,
+        /// The type that was found.
+        found: Type,
+    },
+    /// A construct required a sequence/product/sum type and got something else.
+    WrongShape {
+        /// Where the error occurred.
+        context: &'static str,
+        /// The offending type.
+        found: Type,
+    },
+    /// A lambda without an annotation in a position where none can be inferred.
+    CannotInfer(&'static str),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::UnknownFunction(x) => write!(f, "unknown function `{x}`"),
+            TypeError::Mismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            TypeError::WrongShape { context, found } => {
+                write!(f, "wrong type shape in {context}: found {found}")
+            }
+            TypeError::CannotInfer(context) => {
+                write!(f, "cannot infer lambda domain in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A dynamic (evaluation) error.
+///
+/// The paper's error constant `Ω` and the partiality of `get`, `zip`,
+/// `split`, and division are modelled as strict error propagation: any rule
+/// with an erroneous premise is erroneous ("For some input, the result of P
+/// might be undefined ... or if an error occurs").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The `Ω` term was evaluated.
+    Omega,
+    /// A variable was not bound at runtime (indicates a type-checker escape).
+    UnboundVariable(String),
+    /// A named function was not found in the function table.
+    UnknownFunction(String),
+    /// `get` applied to a sequence whose length is not 1.
+    GetNonSingleton(usize),
+    /// `zip` applied to sequences of different lengths.
+    ZipLengthMismatch(usize, usize),
+    /// `split(M, N)`: the numbers in `N` do not sum to the length of `M`.
+    SplitSumMismatch {
+        /// Length of the sequence being split.
+        have: u64,
+        /// Sum of the requested segment lengths.
+        want: u64,
+    },
+    /// Division by zero.
+    DivisionByZero,
+    /// A value had the wrong shape for a primitive (type-checker escape).
+    Stuck(&'static str),
+    /// The evaluator ran out of fuel (guards non-terminating `while`s in tests).
+    FuelExhausted,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Omega => write!(f, "evaluated the error constant Omega"),
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}` at runtime"),
+            EvalError::UnknownFunction(x) => write!(f, "unknown function `{x}` at runtime"),
+            EvalError::GetNonSingleton(n) => {
+                write!(f, "get applied to a sequence of length {n} (must be 1)")
+            }
+            EvalError::ZipLengthMismatch(a, b) => {
+                write!(f, "zip applied to sequences of lengths {a} and {b}")
+            }
+            EvalError::SplitSumMismatch { have, want } => write!(
+                f,
+                "split: segment lengths sum to {want} but the sequence has length {have}"
+            ),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::Stuck(what) => write!(f, "stuck evaluating {what}"),
+            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

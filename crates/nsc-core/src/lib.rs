@@ -1,0 +1,56 @@
+//! # nsc-core — the Nested Sequence Calculus
+//!
+//! A faithful implementation of **NSC**, the high-level data-parallel
+//! calculus of Suciu & Tannen, *Efficient Compilation of High-Level Data
+//! Parallel Algorithms* (UPenn TR MS-CIS-94-17 / SPAA 1994):
+//!
+//! * [`value`] — S-objects with the paper's unit-size measure;
+//! * [`types`] — `t ::= unit | N | t × t | t + t | [t]`;
+//! * [`ast`] — terms and (first-order) functions, built with combinator
+//!   constructors that read like the paper's notation;
+//! * [`tyck`] — the Appendix A typing rules;
+//! * [`eval`] — the Appendix B natural semantics instrumented with the
+//!   Definition 3.1 **parallel time** and **work** complexity;
+//! * [`stdlib`] — the derived operations of section 3 (conditionals,
+//!   broadcast `ρ₂`, `bm_route`, selections, `filter`, list accessors,
+//!   `index`, `index_split`, prefix sums, ...);
+//! * [`maprec`] — the section 4 recursion extension: *map-recursive*
+//!   definitions, their direct cost semantics, and the **Theorem 4.2**
+//!   translation into pure NSC `while` programs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nsc_core::ast::*;
+//! use nsc_core::eval::apply_func;
+//! use nsc_core::value::Value;
+//!
+//! // map (λx. x * x) — NSC's only parallel construct.
+//! let squares = map(lam("x", mul(var("x"), var("x"))));
+//! let (out, cost) = apply_func(&squares, Value::nat_seq(0..6)).unwrap();
+//! assert_eq!(out, Value::nat_seq([0, 1, 4, 9, 16, 25]));
+//! // Parallel time is independent of the sequence length.
+//! let (_, cost2) = apply_func(&squares, Value::nat_seq(0..600)).unwrap();
+//! assert_eq!(cost.time, cost2.time);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cost;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod maprec;
+pub mod pretty;
+pub mod stdlib;
+pub mod tyck;
+pub mod types;
+pub mod value;
+
+pub use ast::{Func, Term};
+pub use cost::Cost;
+pub use error::{EvalError, TypeError};
+pub use eval::{apply_func, eval_term, Evaluator, FuncDef, FuncTable};
+pub use types::Type;
+pub use value::Value;

@@ -1,0 +1,233 @@
+//! The reference cost semantics of "NSC extended with map-recursion".
+//!
+//! Theorem 4.2 compares the translated program against the *source*
+//! complexity of the recursive definition, where the rule for a recursive
+//! unfolding
+//!
+//! ```text
+//! p(x) ⇓ false   d(x) ⇓ [x1..xm]   f(xi) ⇓ ri (in parallel)   c([r1..rm]) ⇓ r
+//! -------------------------------------------------------------------------
+//!                                f(x) ⇓ r
+//! ```
+//!
+//! costs `T = 1 + T(p) + T(d) + (1 + max_i T(f, xi)) + T(c)` and
+//! `W = SIZE + W(p) + W(d) + Σ W(f, xi) + W(c)` — the recursive calls are
+//! mapped in parallel, exactly like `map` in Definition 3.1.
+//!
+//! This module also reports the *divide-and-conquer tree statistics* the
+//! Theorem 4.2 analysis depends on: the depth, the number of leaves, and
+//! `v`, the number of distinct levels containing leaves (balance measure).
+
+use super::def::MapRecDef;
+use crate::cost::Cost;
+use crate::error::EvalError;
+use crate::eval::Evaluator;
+use crate::value::Value;
+
+/// Statistics of the divide-and-conquer tree of one evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total nodes (internal + leaves).
+    pub nodes: u64,
+    /// Leaves (base cases reached).
+    pub leaves: u64,
+    /// Depth of the deepest leaf (root = depth 0).
+    pub depth: u64,
+    /// `v`: the number of distinct depths at which leaves occur.  The paper
+    /// proves `W' = O(v^ε · W)` per stage for the staged translation and
+    /// `W' = O(W)` when `v` is constant (balanced trees have `v ∈ {1, 2}`).
+    pub leaf_levels: u64,
+}
+
+/// Outcome of a direct map-recursive evaluation.
+#[derive(Clone, Debug)]
+pub struct MapRecOutcome {
+    /// The result value.
+    pub value: Value,
+    /// Source-level `(T, W)` per the recursion rule above.
+    pub cost: Cost,
+    /// Divide-and-conquer tree statistics.
+    pub stats: TreeStats,
+}
+
+/// Evaluates a map-recursive definition directly (reference semantics).
+pub fn eval_maprec(def: &MapRecDef, arg: Value) -> Result<MapRecOutcome, EvalError> {
+    let table = def.table();
+    let mut ev = Evaluator::new(&table);
+    let mut leaf_depths = std::collections::BTreeSet::new();
+    let mut stats = TreeStats::default();
+    let (value, cost) = go(def, &mut ev, arg, 0, &mut stats, &mut leaf_depths)?;
+    stats.leaf_levels = leaf_depths.len() as u64;
+    Ok(MapRecOutcome { value, cost, stats })
+}
+
+fn go(
+    def: &MapRecDef,
+    ev: &mut Evaluator<'_>,
+    arg: Value,
+    depth: u64,
+    stats: &mut TreeStats,
+    leaf_depths: &mut std::collections::BTreeSet<u64>,
+) -> Result<(Value, Cost), EvalError> {
+    stats.nodes += 1;
+    stats.depth = stats.depth.max(depth);
+    let arg_size = arg.size();
+    let (b, c_p) = ev.apply_closed(&def.pred, arg.clone())?;
+    match b.as_bool() {
+        Some(true) => {
+            stats.leaves += 1;
+            leaf_depths.insert(depth);
+            let (r, c_s) = ev.apply_closed(&def.solve, arg)?;
+            let size = arg_size + r.size();
+            Ok((r, Cost::rule(size) + c_p + c_s))
+        }
+        Some(false) => {
+            let (subs, c_d) = ev.apply_closed(&def.divide, arg)?;
+            let subs_vec = subs
+                .as_seq()
+                .ok_or(EvalError::Stuck("map-recursion divide must return a sequence"))?
+                .to_vec();
+            let mut results = Vec::with_capacity(subs_vec.len());
+            let mut par = Cost::ZERO;
+            for sub in subs_vec {
+                let (r, c) = go(def, ev, sub, depth + 1, stats, leaf_depths)?;
+                results.push(r);
+                par = par.par(c);
+            }
+            let results_val = Value::seq(results);
+            let results_size = results_val.size();
+            let (r, c_c) = ev.apply_closed(&def.combine, results_val)?;
+            // SIZE: the input, the subproblem list, the result list, the output.
+            let size = arg_size + subs.size() + results_size + r.size();
+            // The parallel map over recursive calls adds one step (the map
+            // rule) on top of the deepest child.
+            let map_cost = Cost::new(1 + par.time, par.work);
+            Ok((r, Cost::rule(size) + c_p + c_d + map_cost + c_c))
+        }
+        None => Err(EvalError::Stuck("map-recursion predicate not boolean")),
+    }
+}
+
+/// Evaluates via the generic recursion-extended evaluator (the `Named`
+/// unfolding rule).  Used in tests to confirm the two semantics agree on
+/// values; costs differ only by the constant-factor overhead of the
+/// `if`/`case` plumbing in the canonical body.
+pub fn eval_via_table(def: &MapRecDef, arg: Value) -> Result<(Value, Cost), EvalError> {
+    let table = def.table();
+    let mut ev = Evaluator::new(&table);
+    ev.apply_closed(&crate::ast::named(&def.name), arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::maprec::def::MapRecDef;
+    use crate::types::Type;
+
+    fn range_sum() -> MapRecDef {
+        // Re-create the def used in def.rs tests (private there).
+        let dom = Type::prod(Type::Nat, Type::Nat);
+        let pred = lam("r", le(monus(snd(var("r")), fst(var("r"))), nat(1)));
+        let solve = lam(
+            "r",
+            cond(
+                eq(monus(snd(var("r")), fst(var("r"))), nat(1)),
+                fst(var("r")),
+                nat(0),
+            ),
+        );
+        let divide = lam(
+            "r",
+            let_in(
+                "mid",
+                rshift(add(fst(var("r")), snd(var("r"))), nat(1)),
+                append(
+                    singleton(pair(fst(var("r")), var("mid"))),
+                    singleton(pair(var("mid"), snd(var("r")))),
+                ),
+            ),
+        );
+        let combine = lam(
+            "rs",
+            add(
+                crate::stdlib::lists::nth(var("rs"), nat(0), &Type::Nat),
+                crate::stdlib::lists::nth(var("rs"), nat(1), &Type::Nat),
+            ),
+        );
+        MapRecDef {
+            name: ident("rangesum"),
+            dom,
+            cod: Type::Nat,
+            pred,
+            solve,
+            divide,
+            combine,
+        }
+    }
+
+    fn range(lo: u64, hi: u64) -> Value {
+        Value::pair(Value::nat(lo), Value::nat(hi))
+    }
+
+    #[test]
+    fn computes_range_sums() {
+        let def = range_sum();
+        for (lo, hi) in [(0, 1), (0, 8), (3, 17), (0, 100)] {
+            let out = eval_maprec(&def, range(lo, hi)).unwrap();
+            let expect: u64 = (lo..hi).sum();
+            assert_eq!(out.value, Value::nat(expect), "sum {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_table_evaluator() {
+        let def = range_sum();
+        for (lo, hi) in [(0, 5), (2, 19)] {
+            let a = eval_maprec(&def, range(lo, hi)).unwrap().value;
+            let (b, _) = eval_via_table(&def, range(lo, hi)).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn balanced_tree_stats() {
+        let def = range_sum();
+        let out = eval_maprec(&def, range(0, 64)).unwrap();
+        assert_eq!(out.stats.leaves, 64);
+        assert_eq!(out.stats.nodes, 127);
+        assert_eq!(out.stats.depth, 6);
+        assert_eq!(out.stats.leaf_levels, 1, "perfectly balanced: v = 1");
+    }
+
+    #[test]
+    fn unbalanced_tree_has_more_leaf_levels() {
+        let def = range_sum();
+        // 0..65: one leaf hangs one level deeper => v = 2 at most.
+        let out = eval_maprec(&def, range(0, 65)).unwrap();
+        assert!(out.stats.leaf_levels >= 2);
+    }
+
+    #[test]
+    fn time_scales_like_depth() {
+        let def = range_sum();
+        let t16 = eval_maprec(&def, range(0, 16)).unwrap();
+        let t256 = eval_maprec(&def, range(0, 256)).unwrap();
+        let t4096 = eval_maprec(&def, range(0, 4096)).unwrap();
+        // Each doubling of the range adds one tree level at constant extra T.
+        let d1 = t256.cost.time - t16.cost.time;
+        let d2 = t4096.cost.time - t256.cost.time;
+        assert_eq!(d1, d2, "T grows linearly in depth");
+    }
+
+    #[test]
+    fn work_scales_linearly_for_balanced() {
+        let def = range_sum();
+        let w256 = eval_maprec(&def, range(0, 256)).unwrap().cost.work;
+        let w512 = eval_maprec(&def, range(0, 512)).unwrap().cost.work;
+        let w1024 = eval_maprec(&def, range(0, 1024)).unwrap().cost.work;
+        let d1 = w512 - w256;
+        let d2 = w1024 - w512;
+        assert!(d2 < 3 * d1, "W = O(n) for rangesum: {d1} {d2}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Reusable map-recursive definitions for tests, examples, and benches.
+//!
+//! * [`range_sum`] — balanced binary divide-and-conquer (the paper's `g`
+//!   schema), `v = 1..2` leaf levels;
+//! * [`range_sum3`] — three-way division (variable arity);
+//! * [`staircase`] — maximally unbalanced: one leaf on *every* level
+//!   (`v = depth`), the worst case Theorem 4.2's ε-staging targets.
+
+use super::def::MapRecDef;
+use crate::ast::*;
+use crate::stdlib::lists::nth;
+use crate::types::Type;
+use crate::value::Value;
+
+/// `(lo, hi)` as an NSC pair value.
+pub fn range(lo: u64, hi: u64) -> Value {
+    Value::pair(Value::nat(lo), Value::nat(hi))
+}
+
+/// Σ of `lo..hi` by binary splitting:
+/// `f((lo,hi)) = if hi−lo ≤ 1 then (hi−lo = 1 ? lo : 0)
+///               else f((lo,mid)) + f((mid,hi))`.
+pub fn range_sum() -> MapRecDef {
+    let dom = Type::prod(Type::Nat, Type::Nat);
+    let pred = lam("r", le(monus(snd(var("r")), fst(var("r"))), nat(1)));
+    let solve = lam(
+        "r",
+        cond(
+            eq(monus(snd(var("r")), fst(var("r"))), nat(1)),
+            fst(var("r")),
+            nat(0),
+        ),
+    );
+    let divide = lam(
+        "r",
+        let_in(
+            "mid",
+            rshift(add(fst(var("r")), snd(var("r"))), nat(1)),
+            append(
+                singleton(pair(fst(var("r")), var("mid"))),
+                singleton(pair(var("mid"), snd(var("r")))),
+            ),
+        ),
+    );
+    let combine = lam(
+        "rs",
+        add(
+            nth(var("rs"), nat(0), &Type::Nat),
+            nth(var("rs"), nat(1), &Type::Nat),
+        ),
+    );
+    MapRecDef {
+        name: ident("rangesum"),
+        dom,
+        cod: Type::Nat,
+        pred,
+        solve,
+        divide,
+        combine,
+    }
+}
+
+/// Three-way range sum (exercises arity > 2; the paper's `k`-schema
+/// flavour of variable-width division).
+pub fn range_sum3() -> MapRecDef {
+    let base = range_sum();
+    let divide = lam(
+        "r",
+        let_in(
+            "lo",
+            fst(var("r")),
+            let_in(
+                "hi",
+                snd(var("r")),
+                let_in(
+                    "w",
+                    // max(1, width/3) so every child strictly shrinks
+                    max(nat(1), div(monus(var("hi"), var("lo")), nat(3))),
+                    append(
+                        singleton(pair(var("lo"), add(var("lo"), var("w")))),
+                        append(
+                            singleton(pair(
+                                add(var("lo"), var("w")),
+                                add(var("lo"), mul(nat(2), var("w"))),
+                            )),
+                            singleton(pair(add(var("lo"), mul(nat(2), var("w"))), var("hi"))),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let combine = lam("rs", crate::stdlib::numeric::sum_seq(var("rs")));
+    MapRecDef {
+        name: ident("rangesum3"),
+        divide,
+        combine,
+        ..base
+    }
+}
+
+/// Maximally unbalanced "staircase": `d((i, n)) = [(i+1, n), (i, i)]`, so
+/// one leaf peels off at every level until `i = n`.  Result:
+/// `Σ_{i<n} i + n`.
+pub fn staircase() -> MapRecDef {
+    let dom = Type::prod(Type::Nat, Type::Nat); // (i, n)
+    let pred = lam("r", le(snd(var("r")), fst(var("r"))));
+    let solve = lam("r", fst(var("r")));
+    let divide = lam(
+        "r",
+        append(
+            singleton(pair(add(fst(var("r")), nat(1)), snd(var("r")))),
+            singleton(pair(fst(var("r")), fst(var("r")))),
+        ),
+    );
+    let combine = lam("rs", crate::stdlib::numeric::sum_seq(var("rs")));
+    MapRecDef {
+        name: ident("staircase"),
+        dom,
+        cod: Type::Nat,
+        pred,
+        solve,
+        divide,
+        combine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maprec::direct::eval_maprec;
+
+    #[test]
+    fn fixtures_type_check() {
+        range_sum().check().unwrap();
+        range_sum3().check().unwrap();
+        staircase().check().unwrap();
+    }
+
+    #[test]
+    fn fixtures_compute_expected_values() {
+        assert_eq!(
+            eval_maprec(&range_sum(), range(0, 10)).unwrap().value,
+            Value::nat(45)
+        );
+        assert_eq!(
+            eval_maprec(&range_sum3(), range(0, 10)).unwrap().value,
+            Value::nat(45)
+        );
+        assert_eq!(
+            eval_maprec(&staircase(), range(0, 10)).unwrap().value,
+            Value::nat((0..10).sum::<u64>() + 10)
+        );
+    }
+}

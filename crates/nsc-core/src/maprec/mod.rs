@@ -1,0 +1,31 @@
+//! Map-recursion (section 4) and the Theorem 4.2 translation.
+//!
+//! A definition is **map-recursive** (Definition 4.1) when it has the form
+//!
+//! ```text
+//! fun f(x) = if p(x) then s(x) else c(map(f)(d(x)))
+//! ```
+//!
+//! with `p : s → B`, `s : s → t`, `d : s → [s]`, `c : [t] → t`, and the
+//! recursive `f` occurring *only* under that single `map`.  The class is
+//! syntactically checkable (unlike Blelloch's *containment*, which is
+//! undecidable) yet covers tail recursion and divide-and-conquer: the
+//! paper's schemas `g`, `h`, `k` are all instances (see
+//! `nsc_algorithms::schemas`).
+//!
+//! * [`def`] — the [`def::MapRecDef`] structured form + recogniser;
+//! * [`direct`] — the reference cost semantics of "NSC extended with
+//!   map-recursion" (what `T` and `W` mean for the *source* program);
+//! * [`translate`] — the Theorem 4.2 source-to-source translation into pure
+//!   NSC `while` loops (divide phase + combine phase), in the plain variant;
+//! * [`staged`] — the ε-staged variant bounding the unbalanced-tree
+//!   overhead by `O(W^{1+ε})` with nested `while`s.
+
+pub mod def;
+pub mod fixtures;
+pub mod direct;
+pub mod staged;
+pub mod translate;
+
+pub use def::MapRecDef;
+pub use direct::eval_maprec;

@@ -1,0 +1,102 @@
+//! Pretty-printing for NSC terms and functions.
+//!
+//! The output follows the paper's notation closely (`π₁` rendered as `fst`,
+//! `Ω` as `omega`, `@` for append) so printed programs can be read next to
+//! the paper's figures.
+
+use crate::ast::{Func, FuncK, Term, TermK};
+use std::fmt;
+
+pub(crate) fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t.kind() {
+        TermK::Var(x) => write!(f, "{x}"),
+        TermK::Error(ty) => write!(f, "omega:{ty}"),
+        TermK::Const(n) => write!(f, "{n}"),
+        TermK::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        TermK::Cmp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        TermK::Unit => write!(f, "()"),
+        TermK::Pair(a, b) => write!(f, "({a}, {b})"),
+        TermK::Proj1(a) => write!(f, "fst({a})"),
+        TermK::Proj2(a) => write!(f, "snd({a})"),
+        TermK::Inl(a, _) => write!(f, "inl({a})"),
+        TermK::Inr(a, _) => write!(f, "inr({a})"),
+        TermK::Case(m, x, n, y, p) => {
+            write!(f, "case {m} of inl({x}) => {n} | inr({y}) => {p}")
+        }
+        TermK::Apply(func, m) => write!(f, "{func}({m})"),
+        TermK::Empty(_) => write!(f, "[]"),
+        TermK::Singleton(m) => write!(f, "[{m}]"),
+        TermK::Append(a, b) => write!(f, "({a} @ {b})"),
+        TermK::Flatten(m) => write!(f, "flatten({m})"),
+        TermK::Length(m) => write!(f, "length({m})"),
+        TermK::Get(m) => write!(f, "get({m})"),
+        TermK::Zip(a, b) => write!(f, "zip({a}, {b})"),
+        TermK::Enumerate(m) => write!(f, "enumerate({m})"),
+        TermK::Split(a, b) => write!(f, "split({a}, {b})"),
+    }
+}
+
+pub(crate) fn fmt_func(func: &Func, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match func.kind() {
+        FuncK::Lambda(x, Some(ty), body) => write!(f, "(\\{x}:{ty}. {body})"),
+        FuncK::Lambda(x, None, body) => write!(f, "(\\{x}. {body})"),
+        FuncK::Map(g) => write!(f, "map({g})"),
+        FuncK::While(p, g) => write!(f, "while({p}, {g})"),
+        FuncK::Named(n) => write!(f, "{n}"),
+    }
+}
+
+/// Counts AST nodes of a term (program-size metric used in reports).
+pub fn term_nodes(t: &Term) -> usize {
+    match t.kind() {
+        TermK::Var(_) | TermK::Error(_) | TermK::Const(_) | TermK::Unit | TermK::Empty(_) => 1,
+        TermK::Arith(_, a, b)
+        | TermK::Cmp(_, a, b)
+        | TermK::Pair(a, b)
+        | TermK::Append(a, b)
+        | TermK::Zip(a, b)
+        | TermK::Split(a, b) => 1 + term_nodes(a) + term_nodes(b),
+        TermK::Proj1(a)
+        | TermK::Proj2(a)
+        | TermK::Inl(a, _)
+        | TermK::Inr(a, _)
+        | TermK::Singleton(a)
+        | TermK::Flatten(a)
+        | TermK::Length(a)
+        | TermK::Get(a)
+        | TermK::Enumerate(a) => 1 + term_nodes(a),
+        TermK::Case(m, _, n, _, p) => 1 + term_nodes(m) + term_nodes(n) + term_nodes(p),
+        TermK::Apply(func, m) => 1 + func_nodes(func) + term_nodes(m),
+    }
+}
+
+/// Counts AST nodes of a function.
+pub fn func_nodes(func: &Func) -> usize {
+    match func.kind() {
+        FuncK::Lambda(_, _, body) => 1 + term_nodes(body),
+        FuncK::Map(g) => 1 + func_nodes(g),
+        FuncK::While(p, g) => 1 + func_nodes(p) + func_nodes(g),
+        FuncK::Named(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+
+    #[test]
+    fn terms_print_like_the_paper() {
+        let t = append(singleton(nat(1)), var("xs"));
+        assert_eq!(t.to_string(), "([1] @ xs)");
+        let f = map(lam("x", add(var("x"), nat(1))));
+        assert_eq!(f.to_string(), "map((\\x. (x + 1)))");
+    }
+
+    #[test]
+    fn node_counts() {
+        use super::{func_nodes, term_nodes};
+        assert_eq!(term_nodes(&nat(3)), 1);
+        assert_eq!(term_nodes(&add(nat(1), nat(2))), 3);
+        assert_eq!(func_nodes(&lam("x", var("x"))), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Basic derived forms of section 3: database projections, broadcast,
+//! selections, and `filter`.
+
+use crate::ast::*;
+use crate::stdlib::util::gensym;
+use crate::types::Type;
+
+/// Database projection `Π₁ = map(π₁) : [t₁ × t₂] → [t₁]`.
+pub fn pi1() -> Func {
+    let x = gensym("x");
+    map(lam(&x, fst(var(&x))))
+}
+
+/// Database projection `Π₂ = map(π₂) : [t₁ × t₂] → [t₂]`.
+pub fn pi2() -> Func {
+    let x = gensym("x");
+    map(lam(&x, snd(var(&x))))
+}
+
+/// Broadcast `ρ₂ : s × [t] → [s × t]`,
+/// `ρ₂(x, [y₀, …, yₙ₋₁]) = [(x, y₀), …, (x, yₙ₋₁)]` (section 3).
+///
+/// Expressed as `λp. let x = π₁ p in map(λv. (x, v))(π₂ p)`.  The inner
+/// lambda's only free variable is `x`, so each of the `n` applications is
+/// charged `size(x)` for its environment — the broadcast cost
+/// `O(n · size(x))` the paper intends.  When `x` is itself a sequence this
+/// computes (the paired form of) the cartesian product.
+pub fn broadcast() -> Func {
+    let p = gensym("p");
+    let x = gensym("x");
+    let v = gensym("v");
+    lam(
+        &p,
+        let_in(
+            &x,
+            fst(var(&p)),
+            app(map(lam(&v, pair(var(&x), var(&v)))), snd(var(&p))),
+        ),
+    )
+}
+
+/// Selection `σ₁ : [s + t] → [s]`: keeps the payloads of the `inl` elements
+/// (section 3: `σ₁(x) = flatten(map(λu. case u of inl(u') ⇒ [u'] |
+/// inr(u'') ⇒ []))(x)`).
+///
+/// `s` is the left component type (needed for the `[] : [s]` annotation).
+pub fn sigma1(s: &Type) -> Func {
+    let x = gensym("x");
+    let u = gensym("u");
+    let a = gensym("a");
+    let b = gensym("b");
+    lam(
+        &x,
+        flatten(app(
+            map(lam(
+                &u,
+                case(
+                    var(&u),
+                    &a,
+                    singleton(var(&a)),
+                    &b,
+                    empty(s.clone()),
+                ),
+            )),
+            var(&x),
+        )),
+    )
+}
+
+/// Selection `σ₂ : [s + t] → [t]`: keeps the payloads of the `inr` elements.
+pub fn sigma2(t: &Type) -> Func {
+    let x = gensym("x");
+    let u = gensym("u");
+    let a = gensym("a");
+    let b = gensym("b");
+    lam(
+        &x,
+        flatten(app(
+            map(lam(
+                &u,
+                case(
+                    var(&u),
+                    &a,
+                    empty(t.clone()),
+                    &b,
+                    singleton(var(&b)),
+                ),
+            )),
+            var(&x),
+        )),
+    )
+}
+
+/// `filter(P) : [t] → [t]` keeps the elements satisfying `P : t → B`
+/// (section 5: `filter(P)(x) = flatten(map(λu. if P(u) then [u] else []))(x)`).
+pub fn filter(p: Func, elem: &Type) -> Func {
+    let x = gensym("x");
+    let u = gensym("u");
+    lam(
+        &x,
+        flatten(app(
+            map(lam(
+                &u,
+                cond(
+                    app(p, var(&u)),
+                    singleton(var(&u)),
+                    empty(elem.clone()),
+                ),
+            )),
+            var(&x),
+        )),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{apply_func, eval_term};
+    use crate::stdlib::util::app2;
+    use crate::value::Value;
+
+    #[test]
+    fn projections() {
+        let pairs = Value::seq(vec![
+            Value::pair(Value::nat(1), Value::nat(10)),
+            Value::pair(Value::nat(2), Value::nat(20)),
+        ]);
+        assert_eq!(
+            apply_func(&pi1(), pairs.clone()).unwrap().0,
+            Value::nat_seq([1, 2])
+        );
+        assert_eq!(
+            apply_func(&pi2(), pairs).unwrap().0,
+            Value::nat_seq([10, 20])
+        );
+    }
+
+    #[test]
+    fn broadcast_pairs_x_with_each() {
+        let arg = Value::pair(Value::nat(7), Value::nat_seq([1, 2, 3]));
+        let (v, _) = apply_func(&broadcast(), arg).unwrap();
+        let want = Value::seq(vec![
+            Value::pair(Value::nat(7), Value::nat(1)),
+            Value::pair(Value::nat(7), Value::nat(2)),
+            Value::pair(Value::nat(7), Value::nat(3)),
+        ]);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn broadcast_time_constant_in_n() {
+        let mk = |n: u64| Value::pair(Value::nat(7), Value::nat_seq(0..n));
+        let (_, c1) = apply_func(&broadcast(), mk(4)).unwrap();
+        let (_, c2) = apply_func(&broadcast(), mk(256)).unwrap();
+        assert_eq!(c1.time, c2.time, "rho2 is a constant-time operation");
+        assert!(c2.work > c1.work);
+    }
+
+    #[test]
+    fn selections_match_paper_example() {
+        // x = [inl a, inr b, inr c, inr d, inl e, inl f]
+        // sigma1(x) = [a, e, f]; sigma2(x) = [b, c, d]
+        let x = Value::seq(vec![
+            Value::inl(Value::nat(1)),
+            Value::inr(Value::nat(2)),
+            Value::inr(Value::nat(3)),
+            Value::inr(Value::nat(4)),
+            Value::inl(Value::nat(5)),
+            Value::inl(Value::nat(6)),
+        ]);
+        let s1 = sigma1(&Type::Nat);
+        let s2 = sigma2(&Type::Nat);
+        assert_eq!(apply_func(&s1, x.clone()).unwrap().0, Value::nat_seq([1, 5, 6]));
+        assert_eq!(apply_func(&s2, x).unwrap().0, Value::nat_seq([2, 3, 4]));
+    }
+
+    #[test]
+    fn filter_keeps_satisfying_elements() {
+        let even = lam("n", eq(modulo(var("n"), nat(2)), nat(0)));
+        let f = filter(even, &Type::Nat);
+        let (v, _) = apply_func(&f, Value::nat_seq(0..10)).unwrap();
+        assert_eq!(v, Value::nat_seq([0, 2, 4, 6, 8]));
+    }
+
+    #[test]
+    fn filter_is_constant_time() {
+        let pos = lam("n", lt(nat(0), var("n")));
+        let f = filter(pos, &Type::Nat);
+        let (_, c1) = apply_func(&f, Value::nat_seq(0..8)).unwrap();
+        let (_, c2) = apply_func(&f, Value::nat_seq(0..512)).unwrap();
+        assert_eq!(c1.time, c2.time);
+    }
+
+    #[test]
+    fn conditional_is_the_derived_case() {
+        let t = cond(le(nat(1), nat(2)), nat(10), nat(20));
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat(10));
+        let t = cond(le(nat(3), nat(2)), nat(10), nat(20));
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat(20));
+    }
+
+    #[test]
+    fn cartesian_product_via_broadcast() {
+        // When x is itself a sequence, rho2 pairs the whole x with each y.
+        let x = Value::nat_seq([1, 2]);
+        let arg = Value::pair(x.clone(), Value::nat_seq([5, 6]));
+        let (v, _) = apply_func(&broadcast(), arg).unwrap();
+        assert_eq!(
+            v,
+            Value::seq(vec![
+                Value::pair(x.clone(), Value::nat(5)),
+                Value::pair(x, Value::nat(6)),
+            ])
+        );
+        let _ = app2; // silence unused import in some cfg combinations
+    }
+}

@@ -1,0 +1,189 @@
+//! `index` and `index_split` — Figure 3 of the paper, verbatim structure.
+//!
+//! Both expect a *sorted* index sequence `I` and run in constant parallel
+//! time with `O(n + k)` work; they are the workhorses of Valiant's merge
+//! (section 5).
+
+use crate::ast::*;
+use crate::stdlib::lists::remove_last;
+use crate::stdlib::routing::bm_route;
+use crate::stdlib::util::gensym;
+use crate::types::Type;
+
+/// Segment lengths induced by cut positions: for `I = [i0, …, ik-1]` and
+/// total length `n`, `map(−̇)(zip(I @ [n], [0] @ I)) = [i0, i1−i0, …, n−ik-1]`.
+fn cut_lengths(i: Term, n: Term) -> Term {
+    let q = gensym("q");
+    let iv = gensym("i");
+    let nv = gensym("n");
+    let body = app(
+        map(lam(&q, monus(fst(var(&q)), snd(var(&q))))),
+        zip(
+            append(var(&iv), singleton(var(&nv))),
+            append(singleton(nat(0)), var(&iv)),
+        ),
+    );
+    let_in(&iv, i, let_in(&nv, n, body))
+}
+
+/// `index(C, I)`: for sorted indexes `I = [i0, …, ik-1]` returns
+/// `[C_{i0}, …, C_{ik-1}]` — Figure 3:
+///
+/// ```text
+/// fun index(C, I) =
+///   let val n = length(C)
+///       val k = length(I)
+///       val zero_to_k = enumerate(I) @ [k]
+///       val delta_I   = map(−̇)(zip(I @ [n], [0] @ I))
+///       val P         = bm_route((C, delta_I), zero_to_k)
+///       val delta_P   = map(−̇)(zip(P, remove_last([0] @ P)))
+///   in  bm_route((I, delta_P), C) end
+/// ```
+///
+/// Constant time, `O(n + k)` work.
+pub fn index(c: Term, i: Term, elem: &Type) -> Term {
+    let cv = gensym("C");
+    let iv = gensym("I");
+    let n = gensym("n");
+    let k = gensym("k");
+    let p = gensym("P");
+    let q = gensym("q");
+
+    let zero_to_k = append(enumerate(var(&iv)), singleton(var(&k)));
+    let delta_i = cut_lengths(var(&iv), var(&n));
+    let p_term = bm_route(var(&cv), delta_i, zero_to_k);
+    // delta_P = P - ([0] @ P without its last element), pointwise.
+    let delta_p = app(
+        map(lam(&q, monus(fst(var(&q)), snd(var(&q))))),
+        zip(
+            var(&p),
+            remove_last(append(singleton(nat(0)), var(&p)), &Type::Nat),
+        ),
+    );
+    let body = let_in(
+        &p,
+        p_term,
+        bm_route(var(&iv), delta_p, var(&cv)),
+    );
+    let _ = elem;
+    let_in(
+        &cv,
+        c,
+        let_in(
+            &iv,
+            i,
+            let_in(
+                &n,
+                length(var(&cv)),
+                let_in(&k, length(var(&iv)), body),
+            ),
+        ),
+    )
+}
+
+/// `index_split(C, I)`: splits `C` *before* each index of the sorted `I`,
+/// producing `k + 1` segments — Figure 3:
+///
+/// ```text
+/// fun indexsplit(C, I) =
+///   let val n = length(C)
+///   in  split(C, map(−̇)(zip(I @ [n], [0] @ I))) end
+/// ```
+pub fn index_split(c: Term, i: Term) -> Term {
+    let cv = gensym("C");
+    let iv = gensym("I");
+    let body = split(var(&cv), cut_lengths(var(&iv), length(var(&cv))));
+    let_in(&cv, c, let_in(&iv, i, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::eval::{Evaluator, FuncTable};
+    use crate::value::Value;
+
+    fn run_with(c: Value, i: Value, mk: impl Fn(Term, Term) -> Term) -> (Value, crate::cost::Cost) {
+        let table = FuncTable::new();
+        let env = Env::empty().bind(ident("c"), c).bind(ident("i"), i);
+        let t = mk(var("c"), var("i"));
+        Evaluator::new(&table).eval(&env, &t).unwrap()
+    }
+
+    #[test]
+    fn index_selects_sorted_positions() {
+        let (v, _) = run_with(
+            Value::nat_seq([10, 11, 12, 13, 14]),
+            Value::nat_seq([1, 3]),
+            |c, i| index(c, i, &Type::Nat),
+        );
+        assert_eq!(v, Value::nat_seq([11, 13]));
+    }
+
+    #[test]
+    fn index_with_all_and_none() {
+        let (v, _) = run_with(
+            Value::nat_seq([5, 6, 7]),
+            Value::nat_seq([0, 1, 2]),
+            |c, i| index(c, i, &Type::Nat),
+        );
+        assert_eq!(v, Value::nat_seq([5, 6, 7]));
+        let (v, _) = run_with(Value::nat_seq([5, 6, 7]), Value::nat_seq([]), |c, i| {
+            index(c, i, &Type::Nat)
+        });
+        assert_eq!(v, Value::nat_seq([]));
+    }
+
+    #[test]
+    fn index_on_empty_sequence() {
+        let (v, _) = run_with(Value::nat_seq([]), Value::nat_seq([]), |c, i| {
+            index(c, i, &Type::Nat)
+        });
+        assert_eq!(v, Value::nat_seq([]));
+    }
+
+    #[test]
+    fn index_is_constant_time_linear_work() {
+        let run = |n: u64| {
+            run_with(Value::nat_seq(0..n), Value::nat_seq([0, n / 2]), |c, i| {
+                index(c, i, &Type::Nat)
+            })
+            .1
+        };
+        let c16 = run(16);
+        let c1024 = run(1024);
+        assert_eq!(c16.time, c1024.time, "index is O(1) time");
+        assert!(c1024.work < 100 * c16.work, "index is O(n + k) work");
+    }
+
+    #[test]
+    fn index_split_cuts_before_each_index() {
+        let (v, _) = run_with(
+            Value::nat_seq([10, 11, 12, 13, 14]),
+            Value::nat_seq([1, 3]),
+            index_split,
+        );
+        let want = Value::seq(vec![
+            Value::nat_seq([10]),
+            Value::nat_seq([11, 12]),
+            Value::nat_seq([13, 14]),
+        ]);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn index_split_with_zero_cut() {
+        // A cut at 0 produces a leading empty segment.
+        let (v, _) = run_with(
+            Value::nat_seq([1, 2]),
+            Value::nat_seq([0, 2]),
+            index_split,
+        );
+        let want = Value::seq(vec![
+            Value::nat_seq([]),
+            Value::nat_seq([1, 2]),
+            Value::nat_seq([]),
+        ]);
+        assert_eq!(v, want);
+    }
+}

@@ -1,0 +1,200 @@
+//! List accessors of section 3: any element of a length-`n` sequence is
+//! reachable in `O(1)` parallel time and `O(n)` work.
+//!
+//! The paper derives `first`, `tail`, `last`, `remove_last` from `get`,
+//! `split` and `bm-route`; we derive them from the same primitives via a
+//! general `nth`.  All builders take *terms* and bind them once with fresh
+//! variables, so callers never pay a subterm twice.
+
+use crate::ast::*;
+use crate::stdlib::util::{gensym, lam2};
+use crate::types::Type;
+
+/// `nth(xs, i) : t` — the `i`-th element of `xs : [t]`, or `Ω` when
+/// `i ≥ length(xs)`.
+///
+/// `get(flatten(map(λ(j, a). if j = i then [a] else [])(zip(enumerate xs, xs))))`:
+/// `O(1)` time, `O(n)` work (the section 3 random-access construction).
+pub fn nth(xs: Term, i: Term, elem: &Type) -> Term {
+    let xsv = gensym("xs");
+    let iv = gensym("i");
+    let body = get(flatten(app(
+        map(lam2(
+            "j",
+            "a",
+            cond(
+                eq(var("j"), var(&iv)),
+                singleton(var("a")),
+                empty(elem.clone()),
+            ),
+        )),
+        zip(enumerate(var(&xsv)), var(&xsv)),
+    )));
+    let_in(&xsv, xs, let_in(&iv, i, body))
+}
+
+/// `take(xs, m) : [t]` — the first `m` elements; `Ω` unless `m ≤ length(xs)`.
+pub fn take(xs: Term, m: Term, elem: &Type) -> Term {
+    let xsv = gensym("xs");
+    let mv = gensym("m");
+    let parts = split(
+        var(&xsv),
+        append(
+            singleton(var(&mv)),
+            singleton(monus(length(var(&xsv)), var(&mv))),
+        ),
+    );
+    let body = nth(parts, nat(0), &Type::seq(elem.clone()));
+    let_in(&xsv, xs, let_in(&mv, m, body))
+}
+
+/// `drop(xs, m) : [t]` — everything after the first `m` elements;
+/// `Ω` unless `m ≤ length(xs)`.
+pub fn drop(xs: Term, m: Term, elem: &Type) -> Term {
+    let xsv = gensym("xs");
+    let mv = gensym("m");
+    let parts = split(
+        var(&xsv),
+        append(
+            singleton(var(&mv)),
+            singleton(monus(length(var(&xsv)), var(&mv))),
+        ),
+    );
+    let body = nth(parts, nat(1), &Type::seq(elem.clone()));
+    let_in(&xsv, xs, let_in(&mv, m, body))
+}
+
+/// `first(xs)` — the head; `Ω` on the empty sequence (section 3).
+pub fn first(xs: Term, elem: &Type) -> Term {
+    nth(xs, nat(0), elem)
+}
+
+/// `last(xs)` — the last element; `Ω` on the empty sequence.
+pub fn last(xs: Term, elem: &Type) -> Term {
+    let xsv = gensym("xs");
+    let body = nth(
+        var(&xsv),
+        monus(length(var(&xsv)), nat(1)),
+        elem,
+    );
+    let_in(&xsv, xs, body)
+}
+
+/// `tail(xs)` — everything but the head; `Ω` on the empty sequence.
+pub fn tail(xs: Term, elem: &Type) -> Term {
+    let xsv = gensym("xs");
+    let body = drop(var(&xsv), nat(1), elem);
+    let_in(&xsv, xs, body)
+}
+
+/// `remove_last(xs)` — everything but the last element; `Ω` on the empty
+/// sequence.
+pub fn remove_last(xs: Term, elem: &Type) -> Term {
+    let xsv = gensym("xs");
+    let body = take(var(&xsv), monus(length(var(&xsv)), nat(1)), elem);
+    let_in(&xsv, xs, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EvalError;
+    use crate::eval::eval_term;
+    use crate::value::Value;
+
+    fn nats(ns: &[u64]) -> Term {
+        ns.iter()
+            .fold(empty(Type::Nat), |acc, &n| append(acc, singleton(nat(n))))
+    }
+
+    #[test]
+    fn nth_accesses_every_position() {
+        for i in 0..4 {
+            let t = nth(nats(&[10, 11, 12, 13]), nat(i), &Type::Nat);
+            assert_eq!(eval_term(&t).unwrap().0, Value::nat(10 + i));
+        }
+    }
+
+    #[test]
+    fn nth_out_of_range_is_omega() {
+        let t = nth(nats(&[1]), nat(5), &Type::Nat);
+        assert!(matches!(
+            eval_term(&t),
+            Err(EvalError::GetNonSingleton(0))
+        ));
+    }
+
+    #[test]
+    fn nth_is_constant_time_linear_work() {
+        let small = nth(nats(&[0; 8]), nat(3), &Type::Nat);
+        let big = nth(nats(&(0..64).collect::<Vec<_>>()), nat(3), &Type::Nat);
+        // Strip the cost of *building* the literal list: measure only nth by
+        // comparing total time; the literal build is itself constant-depth?
+        // No: building by repeated append is linear depth, so evaluate the
+        // access on a pre-bound variable instead.
+        use crate::env::Env;
+        use crate::eval::{Evaluator, FuncTable};
+        let table = FuncTable::new();
+        let run = |n: u64| {
+            let env = Env::empty().bind(ident("v"), Value::nat_seq(0..n));
+            let t = nth(var("v"), nat(2), &Type::Nat);
+            Evaluator::new(&table).eval(&env, &t).unwrap()
+        };
+        let (v8, c8) = run(8);
+        let (v512, c512) = run(512);
+        assert_eq!(v8, Value::nat(2));
+        assert_eq!(v512, Value::nat(2));
+        assert_eq!(c8.time, c512.time, "O(1) parallel time");
+        // O(n) work: n grew 64x, so the work ratio must stay near 64,
+        // far below a quadratic blowup (which would be ~4096x).
+        assert!(c512.work > c8.work);
+        assert!(c512.work < 80 * c8.work, "O(n) work: {} vs {}", c8.work, c512.work);
+        let _ = (small, big);
+    }
+
+    #[test]
+    fn take_drop_first_last() {
+        let xs = || nats(&[5, 6, 7, 8]);
+        assert_eq!(
+            eval_term(&take(xs(), nat(2), &Type::Nat)).unwrap().0,
+            Value::nat_seq([5, 6])
+        );
+        assert_eq!(
+            eval_term(&drop(xs(), nat(1), &Type::Nat)).unwrap().0,
+            Value::nat_seq([6, 7, 8])
+        );
+        assert_eq!(
+            eval_term(&first(xs(), &Type::Nat)).unwrap().0,
+            Value::nat(5)
+        );
+        assert_eq!(eval_term(&last(xs(), &Type::Nat)).unwrap().0, Value::nat(8));
+        assert_eq!(
+            eval_term(&tail(xs(), &Type::Nat)).unwrap().0,
+            Value::nat_seq([6, 7, 8])
+        );
+        assert_eq!(
+            eval_term(&remove_last(xs(), &Type::Nat)).unwrap().0,
+            Value::nat_seq([5, 6, 7])
+        );
+    }
+
+    #[test]
+    fn take_all_and_none() {
+        let xs = || nats(&[1, 2]);
+        assert_eq!(
+            eval_term(&take(xs(), nat(0), &Type::Nat)).unwrap().0,
+            Value::nat_seq([])
+        );
+        assert_eq!(
+            eval_term(&take(xs(), nat(2), &Type::Nat)).unwrap().0,
+            Value::nat_seq([1, 2])
+        );
+        assert!(eval_term(&take(xs(), nat(3), &Type::Nat)).is_err());
+    }
+
+    #[test]
+    fn head_of_empty_errors_like_the_paper() {
+        let t = first(empty(Type::Nat), &Type::Nat);
+        assert!(eval_term(&t).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! The derived standard library of NSC (section 3 of the paper).
+//!
+//! Everything here is *expressed in* NSC — each function builds an AST from
+//! the primitives, exactly as the paper derives `ρ₂`, `bm-route`, the
+//! selections `σᵢ`, `filter`, `first`/`tail`/`last`, `index` and
+//! `index_split` (Figure 3), and friends.  The cost claims in the paper's
+//! prose (e.g. "`index` has constant time complexity and work complexity
+//! `O(n + k)`") are checked by the unit tests in these modules.
+//!
+//! Functions that must mention a type in the AST (`[] : [t]`,
+//! `inl : s → s + t`) take the needed [`crate::types::Type`] parameters;
+//! this mirrors the paper's statically-typed presentation.
+
+pub mod basic;
+pub mod indexing;
+pub mod lists;
+pub mod numeric;
+pub mod routing;
+pub mod util;
+
+pub use basic::{broadcast, filter, pi1, pi2, sigma1, sigma2};
+pub use indexing::{index, index_split};
+pub use lists::{drop, first, last, nth, remove_last, tail, take};
+pub use numeric::{isqrt_pow2, maximum, prefix_sum, sum_seq};
+pub use routing::{bm_route, combine_flags, m_route};
+pub use util::{app2, lam2};

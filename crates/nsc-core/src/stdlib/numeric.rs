@@ -1,0 +1,247 @@
+//! Numeric reductions and scans expressed in NSC.
+//!
+//! NSC has no scan primitive (the paper keeps the BVRAM communication set
+//! minimal on purpose), so reductions are `while` loops:
+//!
+//! * [`sum_seq`]/[`maximum`] — pairwise-halving tree reduction,
+//!   `T = O(log n)`, `W = O(n)`;
+//! * [`prefix_sum`] — recursive doubling, `T = O(log n)`, `W = O(n log n)`;
+//! * [`isqrt_pow2`] — the `O(1)` power-of-two approximation of `√n` from
+//!   `log2` and shifts, which is exactly why the paper requires `log2` and
+//!   `right-shift` in `Σ` (Valiant's merge needs `√n` block sizes without
+//!   paying an iterative square root).
+
+use crate::ast::*;
+use crate::stdlib::lists::take;
+use crate::stdlib::util::gensym;
+use crate::types::Type;
+
+/// Power-of-two over-approximation of the square root:
+/// `isqrt_pow2(n) = 2^⌈⌈log2 n⌉/2⌉ ∈ [√n, 2√n]` for `n ≥ 1`
+/// (using `⌈log2 n⌉ = ⌊log2(n −̇ 1)⌋ + 1` for `n ≥ 2`).
+pub fn isqrt_pow2(n: Term) -> Term {
+    let nv = gensym("n");
+    let_in(
+        &nv,
+        n,
+        cond(
+            le(var(&nv), nat(1)),
+            nat(1),
+            arith(
+                ArithOp::Lshift,
+                nat(1),
+                rshift(add(log2(monus(var(&nv), nat(1))), nat(2)), nat(1)),
+            ),
+        ),
+    )
+}
+
+/// Tree reduction with a binary `ArithOp`: halve the sequence by combining
+/// adjacent pairs until one element remains.  `T = O(log n)`, `W = O(n)`.
+fn reduce(op: ArithOp, xs: Term, zero: u64) -> Term {
+    let xsv = gensym("xs");
+    let y = gensym("y");
+    let n = gensym("n");
+    let h = gensym("h");
+    let parts = gensym("parts");
+    let q = gensym("q");
+
+    // step(y): let n = |y|, h = n >> 1 in
+    //   map(op)(zip(y[0..h], y[h..2h])) @ y[2h..n]
+    let lens = append(
+        singleton(var(&h)),
+        append(
+            singleton(var(&h)),
+            singleton(monus(var(&n), mul(nat(2), var(&h)))),
+        ),
+    );
+    let step_body = let_in(
+        &n,
+        length(var(&y)),
+        let_in(
+            &h,
+            rshift(var(&n), nat(1)),
+            let_in(
+                &parts,
+                split(var(&y), lens),
+                append(
+                    app(
+                        map(lam(&q, arith(op, fst(var(&q)), snd(var(&q))))),
+                        zip(
+                            crate::stdlib::lists::nth(var(&parts), nat(0), &Type::seq(Type::Nat)),
+                            crate::stdlib::lists::nth(var(&parts), nat(1), &Type::seq(Type::Nat)),
+                        ),
+                    ),
+                    crate::stdlib::lists::nth(var(&parts), nat(2), &Type::seq(Type::Nat)),
+                ),
+            ),
+        ),
+    );
+    let loop_ = while_(
+        lam(&y, lt(nat(1), length(var(&y)))),
+        lam(&y, step_body),
+    );
+    let_in(
+        &xsv,
+        xs,
+        cond(
+            eq(length(var(&xsv)), nat(0)),
+            nat(zero),
+            get(app(loop_, var(&xsv))),
+        ),
+    )
+}
+
+/// `sum_seq : [N] → N` — tree-reduction sum; `0` on the empty sequence.
+pub fn sum_seq(xs: Term) -> Term {
+    reduce(ArithOp::Add, xs, 0)
+}
+
+/// `maximum : [N] → N` — tree-reduction maximum; `0` on the empty sequence.
+pub fn maximum(xs: Term) -> Term {
+    reduce(ArithOp::Max, xs, 0)
+}
+
+/// Inclusive prefix sums by recursive doubling:
+/// `prefix_sum([x0, …, xn-1]) = [x0, x0+x1, …, Σxi]`.
+/// `T = O(log n)`, `W = O(n log n)`.
+pub fn prefix_sum(xs: Term) -> Term {
+    let xsv = gensym("xs");
+    let st = gensym("st");
+    let d = gensym("d");
+    let y = gensym("y");
+    let n = gensym("n");
+    let q = gensym("q");
+    let shifted = gensym("sh");
+
+    // state = (d, y); while d < |y|:
+    //   shifted = zeros(d) @ y[0 .. n-d]
+    //   (2d, map(+)(zip(y, shifted)))
+    let zeros = app(
+        map(lam(&q, nat(0))),
+        take(var(&y), var(&d), &Type::Nat),
+    );
+    let step_body = let_in(
+        &d,
+        fst(var(&st)),
+        let_in(
+            &y,
+            snd(var(&st)),
+            let_in(
+                &n,
+                length(var(&y)),
+                let_in(
+                    &shifted,
+                    append(
+                        zeros,
+                        take(var(&y), monus(var(&n), var(&d)), &Type::Nat),
+                    ),
+                    pair(
+                        mul(nat(2), var(&d)),
+                        app(
+                            map(lam(&q, add(fst(var(&q)), snd(var(&q))))),
+                            zip(var(&y), var(&shifted)),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let pred = lam(&st, lt(fst(var(&st)), length(snd(var(&st)))));
+    let loop_ = while_(pred, lam(&st, step_body));
+    let_in(&xsv, xs, snd(app(loop_, pair(nat(1), var(&xsv)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::eval::{eval_term, Evaluator, FuncTable};
+    use crate::value::Value;
+
+    fn run_on(n_elems: u64, mk: impl Fn(Term) -> Term) -> (Value, crate::cost::Cost) {
+        let table = FuncTable::new();
+        let env = Env::empty().bind(ident("v"), Value::nat_seq(0..n_elems));
+        let t = mk(var("v"));
+        Evaluator::new(&table).eval(&env, &t).unwrap()
+    }
+
+    #[test]
+    fn isqrt_pow2_brackets_sqrt() {
+        for n in [1u64, 2, 3, 4, 9, 16, 64, 100, 1024, 4096, 5000] {
+            let t = isqrt_pow2(nat(n));
+            let s = eval_term(&t).unwrap().0.as_nat().unwrap();
+            assert!(s * s >= n, "sqrt approx too small: n={n} s={s}");
+            assert!(s * s <= 4 * n, "sqrt approx too big: n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let (v, _) = run_on(10, sum_seq);
+        assert_eq!(v, Value::nat(45));
+        let (v, _) = run_on(10, maximum);
+        assert_eq!(v, Value::nat(9));
+        assert_eq!(
+            eval_term(&sum_seq(empty(Type::Nat))).unwrap().0,
+            Value::nat(0)
+        );
+        // Odd lengths exercise the leftover element path.
+        let (v, _) = run_on(7, sum_seq);
+        assert_eq!(v, Value::nat(21));
+    }
+
+    #[test]
+    fn sum_time_is_logarithmic() {
+        let (_, c16) = run_on(16, sum_seq);
+        let (_, c256) = run_on(256, sum_seq);
+        // 4 extra halving rounds, constant time per round.
+        let delta = c256.time - c16.time;
+        assert!(delta > 0);
+        let (_, c4096) = run_on(4096, sum_seq);
+        assert_eq!(
+            c4096.time - c256.time,
+            delta,
+            "constant increment per doubling^4"
+        );
+    }
+
+    #[test]
+    fn sum_work_is_linear() {
+        let (_, c256) = run_on(256, sum_seq);
+        let (_, c512) = run_on(512, sum_seq);
+        let (_, c1024) = run_on(1024, sum_seq);
+        let d1 = c512.work - c256.work;
+        let d2 = c1024.work - c512.work;
+        // Linear work => the increment roughly doubles with n (geometric),
+        // staying well under the n log n growth pattern.
+        assert!(d2 < 3 * d1, "work should be O(n): d1={d1} d2={d2}");
+        assert!(d2 > d1, "work grows with n");
+    }
+
+    #[test]
+    fn prefix_sum_values() {
+        let (v, _) = run_on(6, prefix_sum);
+        assert_eq!(v, Value::nat_seq([0, 1, 3, 6, 10, 15]));
+        assert_eq!(
+            eval_term(&prefix_sum(empty(Type::Nat))).unwrap().0,
+            Value::nat_seq([])
+        );
+        assert_eq!(
+            eval_term(&prefix_sum(singleton(nat(5)))).unwrap().0,
+            Value::nat_seq([5])
+        );
+    }
+
+    #[test]
+    fn prefix_sum_time_is_logarithmic() {
+        let (_, c16) = run_on(16, prefix_sum);
+        let (_, c256) = run_on(256, prefix_sum);
+        let (_, c4096) = run_on(4096, prefix_sum);
+        assert_eq!(
+            c256.time - c16.time,
+            c4096.time - c256.time,
+            "constant time increment per 16x growth"
+        );
+    }
+}

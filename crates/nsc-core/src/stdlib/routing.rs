@@ -1,0 +1,359 @@
+//! Routing operations: the paper's derived `bm-route`, the while-based
+//! unbounded `m-route`, and the flag-merge `combine` of Example D.1.
+
+use crate::ast::*;
+use crate::stdlib::basic::broadcast;
+use crate::stdlib::lists::{first, tail};
+use crate::stdlib::numeric::sum_seq;
+use crate::stdlib::util::gensym;
+use crate::types::Type;
+
+/// Bounded monotone routing
+/// `bm_route : ([s] × [N]) × [t] → [t]` (section 3):
+/// `bm_route((u, d), x)` replicates each `x_i` exactly `d_i` times; the
+/// *bound* `u` fixes the output length (`Σ d_i = length(u)` must hold, which
+/// is what keeps the operation constant-time — no sequence longer than an
+/// existing one can be built).
+///
+/// Derivation from the paper:
+/// `bm_route((u, d), x) = Π₁(flatten(map(ρ₂)(zip(x, split(u, d)))))`.
+///
+/// E.g. `bm_route(([u0,u1,u2,u3,u4], [3,0,2]), [a,b,c]) = [a,a,a,c,c]`.
+pub fn bm_route(u: Term, d: Term, x: Term) -> Term {
+    let uv = gensym("u");
+    let dv = gensym("d");
+    let xv = gensym("x");
+    let w = gensym("w");
+    let body = app(
+        // Π₁ = map(π₁)
+        map(lam(&w, fst(var(&w)))),
+        flatten(app(
+            map(broadcast()),
+            zip(var(&xv), split(var(&uv), var(&dv))),
+        )),
+    );
+    let_in(&uv, u, let_in(&dv, d, let_in(&xv, x, body)))
+}
+
+/// Unbounded monotone routing `m_route : [N] × [t] → [t]`:
+/// replicates each `x_i` exactly `d_i` times with **no** bound sequence.
+///
+/// As the paper notes, this cannot run in constant parallel time — e.g.
+/// `m_route([n], [a])` builds a sequence whose size is not polynomially
+/// bounded by its input — so it is defined *with `while`*: a unit sequence
+/// is doubled until it covers `Σ d_i` (`O(log Σd)` steps), then trimmed and
+/// used as the bound for a `bm_route`.
+pub fn m_route(d: Term, x: Term) -> Term {
+    let dv = gensym("d");
+    let xv = gensym("x");
+    let tot = gensym("tot");
+    let st = gensym("s");
+    // Grow a [unit] bound by self-appending until it reaches `tot`.
+    let grow = while_(
+        lam(&st, lt(length(var(&st)), var(&tot))),
+        lam(&st, append(var(&st), var(&st))),
+    );
+    let grown = app(grow, singleton(unit()));
+    let trimmed = crate::stdlib::lists::take(grown, var(&tot), &Type::Unit);
+    let body = let_in(
+        &tot,
+        sum_seq(var(&dv)),
+        bm_route(trimmed, var(&dv), var(&xv)),
+    );
+    let_in(&dv, d, let_in(&xv, x, body))
+}
+
+/// Positions of the `true` flags: `[N]`, ascending.
+fn true_positions(f: Term) -> Term {
+    let fv = gensym("f");
+    let q = gensym("q");
+    let body = flatten(app(
+        map(lam(
+            &q,
+            cond(
+                snd(var(&q)),
+                singleton(fst(var(&q))),
+                empty(Type::Nat),
+            ),
+        )),
+        zip(enumerate(var(&fv)), var(&fv)),
+    ));
+    let_in(&fv, f, body)
+}
+
+fn false_positions(f: Term) -> Term {
+    let fv = gensym("f");
+    let q = gensym("q");
+    let body = flatten(app(
+        map(lam(
+            &q,
+            cond(
+                snd(var(&q)),
+                empty(Type::Nat),
+                singleton(fst(var(&q))),
+            ),
+        )),
+        zip(enumerate(var(&fv)), var(&fv)),
+    ));
+    let_in(&fv, f, body)
+}
+
+/// Example D.1's replication counts: from ascending positions
+/// `[p0, …, pk-1]` (k ≥ 1) and the total length `n`, produce
+/// `[p0 + (p1 − p0), p2 − p1, …, n − pk-1]`, so that routing with these
+/// counts spreads value `j` over positions `[pj, p_{j+1})` (with value 0
+/// back-filled before `p0`).
+fn spread_counts(pos: Term, n: Term) -> Term {
+    let pv = gensym("pos");
+    let nv = gensym("n");
+    let q = gensym("q");
+    // neighbours = tail(pos) @ [n]
+    let neighbours = append(tail(var(&pv), &Type::Nat), singleton(var(&nv)));
+    // base = map(-)(zip(neighbours, pos)) = [p1-p0, p2-p1, ..., n-pk-1]
+    let base = gensym("base");
+    let base_t = app(
+        map(lam(&q, monus(fst(var(&q)), snd(var(&q))))),
+        zip(neighbours, var(&pv)),
+    );
+    // counts = [first(base) + first(pos)] @ tail(base)
+    let body = let_in(
+        &base,
+        base_t,
+        append(
+            singleton(add(
+                first(var(&base), &Type::Nat),
+                first(var(&pv), &Type::Nat),
+            )),
+            tail(var(&base), &Type::Nat),
+        ),
+    );
+    let_in(&pv, pos, let_in(&nv, n, body))
+}
+
+/// `combine : [B] × ([s] × [s]) → [s]` (Example D.1): merges `x` and `y`
+/// according to the flags — the result has the length of `f`, taking the
+/// next element of `x` at `true` positions and of `y` at `false` positions.
+///
+/// E.g. `combine([T,F,F,T,F,T,T], ([x0..x3], [y0..y2]))
+///        = [x0, y0, y1, x1, y2, x2, x3]`.
+///
+/// Constant parallel time, linear work — implemented with two `bm_route`s
+/// exactly as the example describes.  (The all-`true`/all-`false` cases,
+/// which the example glosses over, are dispatched separately since there is
+/// then nothing to route on one side.)
+pub fn combine_flags(f: Term, x: Term, y: Term, elem: &Type) -> Term {
+    let fv = gensym("f");
+    let xv = gensym("x");
+    let yv = gensym("y");
+    let n = gensym("n");
+    let px = gensym("px");
+    let py = gensym("py");
+    let sx = gensym("sx");
+    let sy = gensym("sy");
+    let q = gensym("q");
+
+    // General case: both sides present.
+    let spread_x = bm_route(
+        var(&fv),
+        spread_counts(var(&px), var(&n)),
+        var(&xv),
+    );
+    let spread_y = bm_route(
+        var(&fv),
+        spread_counts(var(&py), var(&n)),
+        var(&yv),
+    );
+    let select = app(
+        map(lam(
+            &q,
+            cond(
+                fst(var(&q)),
+                fst(snd(var(&q))),
+                snd(snd(var(&q))),
+            ),
+        )),
+        zip(var(&fv), zip(let_in(&sx, spread_x, var(&sx)), let_in(&sy, spread_y, var(&sy)))),
+    );
+
+    let general = let_in(
+        &px,
+        true_positions(var(&fv)),
+        let_in(&py, false_positions(var(&fv)), select),
+    );
+
+    let body = cond(
+        eq(length(var(&fv)), nat(0)),
+        empty(elem.clone()),
+        cond(
+            // no true flags => result is exactly y
+            eq(length(true_positions(var(&fv))), nat(0)),
+            var(&yv),
+            cond(
+                // no false flags => result is exactly x
+                eq(length(false_positions(var(&fv))), nat(0)),
+                var(&xv),
+                general,
+            ),
+        ),
+    );
+
+    let_in(
+        &fv,
+        f,
+        let_in(
+            &n,
+            length(var(&fv)),
+            let_in(&xv, x, let_in(&yv, y, body)),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_term;
+    use crate::value::Value;
+
+    fn nats(ns: &[u64]) -> Term {
+        ns.iter()
+            .fold(empty(Type::Nat), |acc, &n| append(acc, singleton(nat(n))))
+    }
+
+    fn units(n: usize) -> Term {
+        (0..n).fold(empty(Type::Unit), |acc, _| append(acc, singleton(unit())))
+    }
+
+    fn flags(bs: &[bool]) -> Term {
+        bs.iter().fold(empty(Type::bool_()), |acc, &b| {
+            append(acc, singleton(if b { tt() } else { ff() }))
+        })
+    }
+
+    #[test]
+    fn bm_route_matches_paper_example() {
+        // bm_route(([u0..u4], [3,0,2]), [a,b,c]) = [a,a,a,c,c]
+        let t = bm_route(units(5), nats(&[3, 0, 2]), nats(&[10, 20, 30]));
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([10, 10, 10, 30, 30]));
+    }
+
+    #[test]
+    fn bm_route_rejects_wrong_bound() {
+        // sum of counts (5) != bound length (4) => split errors (Ω).
+        let t = bm_route(units(4), nats(&[3, 0, 2]), nats(&[1, 2, 3]));
+        assert!(eval_term(&t).is_err());
+    }
+
+    #[test]
+    fn bm_route_nested_elements_lose_inner_order_note() {
+        // The paper notes bm_route(([(), ()], [2]), [[a,b,c]]) =
+        // [[a,b,c],[a,b,c]]: replication of nested values is per-element.
+        let inner = nats(&[1, 2, 3]);
+        let t = bm_route(units(2), nats(&[2]), singleton(inner));
+        let want = Value::seq(vec![
+            Value::nat_seq([1, 2, 3]),
+            Value::nat_seq([1, 2, 3]),
+        ]);
+        assert_eq!(eval_term(&t).unwrap().0, want);
+    }
+
+    #[test]
+    fn bm_route_is_constant_time() {
+        use crate::env::Env;
+        use crate::eval::{Evaluator, FuncTable};
+        let table = FuncTable::new();
+        let run = |n: u64| {
+            let env = Env::empty()
+                .bind(ident("u"), Value::seq(vec![Value::unit(); n as usize]))
+                .bind(ident("d"), Value::nat_seq([n]))
+                .bind(ident("x"), Value::nat_seq([7]));
+            let t = bm_route(var("u"), var("d"), var("x"));
+            Evaluator::new(&table).eval(&env, &t).unwrap()
+        };
+        let (v, c8) = run(8);
+        assert_eq!(v, Value::nat_seq([7; 8]));
+        let (_, c256) = run(256);
+        assert_eq!(c8.time, c256.time, "bm_route is O(1) parallel time");
+    }
+
+    #[test]
+    fn m_route_replicates_without_bound() {
+        let t = m_route(nats(&[4, 0, 2]), nats(&[5, 6, 7]));
+        assert_eq!(
+            eval_term(&t).unwrap().0,
+            Value::nat_seq([5, 5, 5, 5, 7, 7])
+        );
+    }
+
+    #[test]
+    fn m_route_builds_long_output_from_short_input() {
+        // m_route([n], [a]) = [a; n]: output size not bounded by input size.
+        let t = m_route(nats(&[13]), nats(&[9]));
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([9; 13]));
+    }
+
+    #[test]
+    fn m_route_time_grows_logarithmically() {
+        let run = |n: u64| {
+            let t = m_route(singleton(nat(n)), singleton(nat(1)));
+            eval_term(&t).unwrap().1
+        };
+        let c16 = run(16);
+        let c256 = run(256);
+        // 4 extra doublings; the growth loop dominates the difference.
+        assert!(c256.time > c16.time);
+        assert!(
+            c256.time - c16.time <= 4 * (c16.time),
+            "time grows ~log: {} vs {}",
+            c16.time,
+            c256.time
+        );
+    }
+
+    #[test]
+    fn combine_matches_example_d1() {
+        // f = [T,F,F,T,F,T,T], x = [x0..x3], y = [y0..y2]
+        // combine(f, x, y) = [x0, y0, y1, x1, y2, x2, x3]
+        let t = combine_flags(
+            flags(&[true, false, false, true, false, true, true]),
+            nats(&[100, 101, 102, 103]),
+            nats(&[200, 201, 202]),
+            &Type::Nat,
+        );
+        assert_eq!(
+            eval_term(&t).unwrap().0,
+            Value::nat_seq([100, 200, 201, 101, 202, 102, 103])
+        );
+    }
+
+    #[test]
+    fn combine_edge_cases() {
+        // all-true, all-false, empty
+        let t = combine_flags(
+            flags(&[true, true]),
+            nats(&[1, 2]),
+            nats(&[]),
+            &Type::Nat,
+        );
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([1, 2]));
+        let t = combine_flags(
+            flags(&[false, false]),
+            nats(&[]),
+            nats(&[8, 9]),
+            &Type::Nat,
+        );
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([8, 9]));
+        let t = combine_flags(flags(&[]), nats(&[]), nats(&[]), &Type::Nat);
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([]));
+    }
+
+    #[test]
+    fn combine_starting_with_false() {
+        let t = combine_flags(
+            flags(&[false, true, false]),
+            nats(&[5]),
+            nats(&[8, 9]),
+            &Type::Nat,
+        );
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([8, 5, 9]));
+    }
+}

@@ -1,0 +1,70 @@
+//! Helpers for building NSC programs: fresh names and paired lambdas.
+
+use crate::ast::{app, fst, lam, let_in, pair, snd, var, Func, Term};
+use std::cell::Cell;
+
+thread_local! {
+    static COUNTER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Generates a fresh identifier with the given prefix.
+///
+/// Names contain `#`, which the surface constructors never produce, so a
+/// gensym can never capture a user variable.
+pub fn gensym(prefix: &str) -> String {
+    COUNTER.with(|c| {
+        let n = c.get();
+        c.set(n + 1);
+        format!("{prefix}#{n}")
+    })
+}
+
+/// A lambda over a pair: `lam2("x", "y", body)` builds
+/// `λp. let x = π₁ p in let y = π₂ p in body` with a fresh `p`.
+///
+/// NSC has no pattern matching; this is the standard currying-free idiom the
+/// paper uses implicitly when it writes `λ(x, y). …`.
+pub fn lam2(x: &str, y: &str, body: Term) -> Func {
+    let p = gensym("p");
+    lam(
+        &p,
+        let_in(x, fst(var(&p)), let_in(y, snd(var(&p)), body)),
+    )
+}
+
+/// Applies a two-argument (paired) function: `app2(f, a, b) = f((a, b))`.
+pub fn app2(f: Func, a: Term, b: Term) -> Term {
+    app(f, pair(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::eval::eval_term;
+    use crate::value::Value;
+
+    #[test]
+    fn gensym_is_fresh() {
+        let a = gensym("x");
+        let b = gensym("x");
+        assert_ne!(a, b);
+        assert!(a.contains('#'));
+    }
+
+    #[test]
+    fn lam2_projects_both_components() {
+        let f = lam2("a", "b", monus(var("a"), var("b")));
+        let t = app2(f, nat(10), nat(3));
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat(7));
+    }
+
+    #[test]
+    fn nested_lam2_do_not_capture() {
+        // Inner lam2 must not shadow the outer pair variable.
+        let inner = lam2("c", "d", add(var("c"), add(var("d"), var("a"))));
+        let outer = lam2("a", "b", app2(inner, var("b"), nat(1)));
+        let t = app2(outer, nat(100), nat(10));
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat(111));
+    }
+}

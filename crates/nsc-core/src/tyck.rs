@@ -1,0 +1,333 @@
+//! The type checker (Appendix A rules).
+//!
+//! Terms are inferred; functions are *checked against a domain type*.
+//! Because NSC is first-order, every function occurrence appears either
+//! applied, under `map`, or inside `while`, so its domain is always known
+//! at the use site — this is how the paper can "drop [the annotation] when
+//! it is clear from the context".
+
+use crate::ast::{CmpOp, Func, FuncK, Ident, Term, TermK};
+use crate::error::TypeError;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Domain/codomain signatures for named (recursive) definitions.
+pub type SigTable = HashMap<Ident, (Type, Type)>;
+
+/// A typing context `Γ = {x₁ : s₁, ..., xₙ : sₙ}`.
+#[derive(Clone, Debug, Default)]
+pub struct TypeCtx {
+    vars: HashMap<Ident, Type>,
+}
+
+impl TypeCtx {
+    /// The empty context.
+    pub fn empty() -> Self {
+        TypeCtx::default()
+    }
+
+    /// Extends the context (functionally).
+    pub fn bind(&self, x: Ident, t: Type) -> Self {
+        let mut vars = self.vars.clone();
+        vars.insert(x, t);
+        TypeCtx { vars }
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, x: &str) -> Option<&Type> {
+        self.vars.get(x)
+    }
+}
+
+fn mismatch(context: &'static str, expected: &Type, found: &Type) -> TypeError {
+    TypeError::Mismatch {
+        context,
+        expected: expected.clone(),
+        found: found.clone(),
+    }
+}
+
+fn expect(context: &'static str, expected: &Type, found: &Type) -> Result<(), TypeError> {
+    if expected == found {
+        Ok(())
+    } else {
+        Err(mismatch(context, expected, found))
+    }
+}
+
+/// Infers the type of a term under a context (`Γ ⊳ M : t`).
+pub fn type_of(ctx: &TypeCtx, sigs: &SigTable, term: &Term) -> Result<Type, TypeError> {
+    match term.kind() {
+        TermK::Var(x) => ctx
+            .lookup(x)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(x.to_string())),
+        TermK::Error(t) => Ok(t.clone()),
+        TermK::Const(_) => Ok(Type::Nat),
+        TermK::Arith(_, a, b) => {
+            expect("arithmetic lhs", &Type::Nat, &type_of(ctx, sigs, a)?)?;
+            expect("arithmetic rhs", &Type::Nat, &type_of(ctx, sigs, b)?)?;
+            Ok(Type::Nat)
+        }
+        TermK::Cmp(op, a, b) => {
+            let ta = type_of(ctx, sigs, a)?;
+            let tb = type_of(ctx, sigs, b)?;
+            match op {
+                // The paper's `M = N` is equality at `N`; `≤`/`<` likewise.
+                CmpOp::Eq | CmpOp::Le | CmpOp::Lt => {
+                    expect("comparison lhs", &Type::Nat, &ta)?;
+                    expect("comparison rhs", &Type::Nat, &tb)?;
+                }
+            }
+            Ok(Type::bool_())
+        }
+        TermK::Unit => Ok(Type::Unit),
+        TermK::Pair(a, b) => Ok(Type::prod(type_of(ctx, sigs, a)?, type_of(ctx, sigs, b)?)),
+        TermK::Proj1(a) => match type_of(ctx, sigs, a)? {
+            Type::Prod(s, _) => Ok((*s).clone()),
+            t => Err(TypeError::WrongShape {
+                context: "fst",
+                found: t,
+            }),
+        },
+        TermK::Proj2(a) => match type_of(ctx, sigs, a)? {
+            Type::Prod(_, t) => Ok((*t).clone()),
+            t => Err(TypeError::WrongShape {
+                context: "snd",
+                found: t,
+            }),
+        },
+        TermK::Inl(a, right) => Ok(Type::sum(type_of(ctx, sigs, a)?, right.clone())),
+        TermK::Inr(a, left) => Ok(Type::sum(left.clone(), type_of(ctx, sigs, a)?)),
+        TermK::Case(m, x, n, y, p) => match type_of(ctx, sigs, m)? {
+            Type::Sum(s, t) => {
+                let tn = type_of(&ctx.bind(x.clone(), (*s).clone()), sigs, n)?;
+                let tp = type_of(&ctx.bind(y.clone(), (*t).clone()), sigs, p)?;
+                expect("case branches", &tn, &tp)?;
+                Ok(tn)
+            }
+            t => Err(TypeError::WrongShape {
+                context: "case scrutinee",
+                found: t,
+            }),
+        },
+        TermK::Apply(f, m) => {
+            let dom = type_of(ctx, sigs, m)?;
+            check_func(ctx, sigs, f, &dom)
+        }
+        TermK::Empty(t) => Ok(Type::seq(t.clone())),
+        TermK::Singleton(m) => Ok(Type::seq(type_of(ctx, sigs, m)?)),
+        TermK::Append(a, b) => {
+            let ta = type_of(ctx, sigs, a)?;
+            let tb = type_of(ctx, sigs, b)?;
+            if !matches!(ta, Type::Seq(_)) {
+                return Err(TypeError::WrongShape {
+                    context: "append",
+                    found: ta,
+                });
+            }
+            expect("append operands", &ta, &tb)?;
+            Ok(ta)
+        }
+        TermK::Flatten(m) => match type_of(ctx, sigs, m)? {
+            Type::Seq(inner) => match &*inner {
+                Type::Seq(_) => Ok((*inner).clone()),
+                _ => Err(TypeError::WrongShape {
+                    context: "flatten",
+                    found: Type::Seq(inner.clone()),
+                }),
+            },
+            t => Err(TypeError::WrongShape {
+                context: "flatten",
+                found: t,
+            }),
+        },
+        TermK::Length(m) => match type_of(ctx, sigs, m)? {
+            Type::Seq(_) => Ok(Type::Nat),
+            t => Err(TypeError::WrongShape {
+                context: "length",
+                found: t,
+            }),
+        },
+        TermK::Get(m) => match type_of(ctx, sigs, m)? {
+            Type::Seq(t) => Ok((*t).clone()),
+            t => Err(TypeError::WrongShape {
+                context: "get",
+                found: t,
+            }),
+        },
+        TermK::Zip(a, b) => match (type_of(ctx, sigs, a)?, type_of(ctx, sigs, b)?) {
+            (Type::Seq(s), Type::Seq(t)) => {
+                Ok(Type::seq(Type::prod((*s).clone(), (*t).clone())))
+            }
+            (ta, _) => Err(TypeError::WrongShape {
+                context: "zip",
+                found: ta,
+            }),
+        },
+        TermK::Enumerate(m) => match type_of(ctx, sigs, m)? {
+            Type::Seq(_) => Ok(Type::seq(Type::Nat)),
+            t => Err(TypeError::WrongShape {
+                context: "enumerate",
+                found: t,
+            }),
+        },
+        TermK::Split(a, b) => {
+            let ta = type_of(ctx, sigs, a)?;
+            expect("split lengths", &Type::seq(Type::Nat), &type_of(ctx, sigs, b)?)?;
+            match ta {
+                Type::Seq(_) => Ok(Type::seq(ta)),
+                t => Err(TypeError::WrongShape {
+                    context: "split",
+                    found: t,
+                }),
+            }
+        }
+    }
+}
+
+/// Checks a function against a domain type and returns its codomain
+/// (`Γ ⊳ F : s → t`).
+pub fn check_func(
+    ctx: &TypeCtx,
+    sigs: &SigTable,
+    func: &Func,
+    dom: &Type,
+) -> Result<Type, TypeError> {
+    match func.kind() {
+        FuncK::Lambda(x, ann, body) => {
+            if let Some(ann) = ann {
+                expect("lambda annotation", ann, dom)?;
+            }
+            type_of(&ctx.bind(x.clone(), dom.clone()), sigs, body)
+        }
+        FuncK::Map(f) => match dom {
+            Type::Seq(s) => Ok(Type::seq(check_func(ctx, sigs, f, s)?)),
+            t => Err(TypeError::WrongShape {
+                context: "map domain",
+                found: t.clone(),
+            }),
+        },
+        FuncK::While(p, f) => {
+            let bp = check_func(ctx, sigs, p, dom)?;
+            if !bp.is_bool() {
+                return Err(mismatch("while predicate", &Type::bool_(), &bp));
+            }
+            let tf = check_func(ctx, sigs, f, dom)?;
+            expect("while body", dom, &tf)?;
+            Ok(dom.clone())
+        }
+        FuncK::Named(name) => {
+            let (d, c) = sigs
+                .get(name)
+                .ok_or_else(|| TypeError::UnknownFunction(name.to_string()))?;
+            expect("named function domain", d, dom)?;
+            Ok(c.clone())
+        }
+    }
+}
+
+/// Convenience: checks a closed function `f : dom → ?` with no named defs.
+pub fn check_closed(func: &Func, dom: &Type) -> Result<Type, TypeError> {
+    check_func(&TypeCtx::empty(), &SigTable::new(), func, dom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn infer(t: &Term) -> Result<Type, TypeError> {
+        type_of(&TypeCtx::empty(), &SigTable::new(), t)
+    }
+
+    #[test]
+    fn basic_terms() {
+        assert_eq!(infer(&nat(3)).unwrap(), Type::Nat);
+        assert_eq!(infer(&unit()).unwrap(), Type::Unit);
+        assert_eq!(
+            infer(&pair(nat(1), tt())).unwrap(),
+            Type::prod(Type::Nat, Type::bool_())
+        );
+        assert_eq!(infer(&eq(nat(1), nat(2))).unwrap(), Type::bool_());
+    }
+
+    #[test]
+    fn sequences() {
+        let xs = append(singleton(nat(1)), empty(Type::Nat));
+        assert_eq!(infer(&xs).unwrap(), Type::seq(Type::Nat));
+        assert_eq!(infer(&length(xs.clone())).unwrap(), Type::Nat);
+        assert_eq!(infer(&enumerate(xs.clone())).unwrap(), Type::seq(Type::Nat));
+        assert_eq!(
+            infer(&split(xs.clone(), singleton(nat(1)))).unwrap(),
+            Type::seq(Type::seq(Type::Nat))
+        );
+        assert_eq!(infer(&get(xs)).unwrap(), Type::Nat);
+    }
+
+    #[test]
+    fn flatten_requires_nesting() {
+        let flat = singleton(nat(1));
+        assert!(infer(&flatten(flat)).is_err());
+        let nested = singleton(singleton(nat(1)));
+        assert_eq!(infer(&flatten(nested)).unwrap(), Type::seq(Type::Nat));
+    }
+
+    #[test]
+    fn lambda_inference_at_application() {
+        // (\x. x + 1)(41): the domain N flows from the argument.
+        let t = app(lam("x", add(var("x"), nat(1))), nat(41));
+        assert_eq!(infer(&t).unwrap(), Type::Nat);
+        // A wrong annotation is rejected.
+        let t = app(lam_t("x", Type::Unit, var("x")), nat(41));
+        assert!(infer(&t).is_err());
+    }
+
+    #[test]
+    fn map_and_while_check() {
+        let inc = lam("x", add(var("x"), nat(1)));
+        let f = map(inc);
+        assert_eq!(
+            check_closed(&f, &Type::seq(Type::Nat)).unwrap(),
+            Type::seq(Type::Nat)
+        );
+        // while halving until zero: state N
+        let p = lam("x", lt(nat(0), var("x")));
+        let step = lam("x", rshift(var("x"), nat(1)));
+        assert_eq!(check_closed(&while_(p, step), &Type::Nat).unwrap(), Type::Nat);
+    }
+
+    #[test]
+    fn while_predicate_must_be_bool() {
+        let p = lam("x", var("x"));
+        let f = lam("x", var("x"));
+        assert!(check_closed(&while_(p, f), &Type::Nat).is_err());
+    }
+
+    #[test]
+    fn case_branch_types_must_agree() {
+        let ok = case(tt(), "u", nat(1), "v", nat(2));
+        assert_eq!(infer(&ok).unwrap(), Type::Nat);
+        let bad = case(tt(), "u", nat(1), "v", unit());
+        assert!(infer(&bad).is_err());
+    }
+
+    #[test]
+    fn named_functions_use_signatures() {
+        let mut sigs = SigTable::new();
+        sigs.insert(ident("f"), (Type::Nat, Type::seq(Type::Nat)));
+        let t = app(named("f"), nat(3));
+        assert_eq!(
+            type_of(&TypeCtx::empty(), &sigs, &t).unwrap(),
+            Type::seq(Type::Nat)
+        );
+        assert!(infer(&t).is_err());
+    }
+
+    #[test]
+    fn free_variables_need_context() {
+        let ctx = TypeCtx::empty().bind(ident("x"), Type::Nat);
+        assert_eq!(type_of(&ctx, &SigTable::new(), &var("x")).unwrap(), Type::Nat);
+        assert!(infer(&var("x")).is_err());
+    }
+}

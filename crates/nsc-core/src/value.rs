@@ -1,0 +1,257 @@
+//! S-objects: the runtime values of NSC.
+//!
+//! The paper (section 3) defines S-objects by the grammar
+//! `C ::= () | n | (C, C) | inl(C) | inr(C) | [C, ..., C]` and adopts the
+//! *unit size* measure: `size(()) = size(n) = 1`,
+//! `size((C, D)) = 1 + size(C) + size(D)`,
+//! `size(inl(C)) = size(inr(C)) = 1 + size(C)`,
+//! `size([C0, ..., Cn-1]) = 1 + Σ size(Ci)`.
+//!
+//! Work complexity (Definition 3.1) charges the size of every S-object
+//! mentioned in a derivation rule, so `size` must be O(1): we cache it at
+//! construction time behind an `Rc` handle, which also makes cloning O(1).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// The shape of an S-object.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// The empty tuple `()` of type `unit`.
+    Unit,
+    /// A nonnegative integer of type `N`.
+    Nat(u64),
+    /// A pair `(x, y)` of product type.
+    Pair(Value, Value),
+    /// Left injection `inl(x)` into a sum type.
+    Inl(Value),
+    /// Right injection `inr(y)` into a sum type.
+    Inr(Value),
+    /// A finite sequence `[x0, ..., xn-1]`.
+    Seq(Vec<Value>),
+}
+
+#[derive(Debug)]
+struct Node {
+    kind: Kind,
+    size: u64,
+}
+
+/// An immutable, cheaply clonable S-object with cached unit size.
+#[derive(Clone)]
+pub struct Value(Rc<Node>);
+
+impl Value {
+    fn mk(kind: Kind) -> Self {
+        let size = match &kind {
+            Kind::Unit | Kind::Nat(_) => 1,
+            Kind::Pair(a, b) => 1 + a.size() + b.size(),
+            Kind::Inl(v) | Kind::Inr(v) => 1 + v.size(),
+            Kind::Seq(vs) => 1 + vs.iter().map(Value::size).sum::<u64>(),
+        };
+        Value(Rc::new(Node { kind, size }))
+    }
+
+    /// The empty tuple `()`.
+    pub fn unit() -> Self {
+        Value::mk(Kind::Unit)
+    }
+
+    /// A natural number.
+    pub fn nat(n: u64) -> Self {
+        Value::mk(Kind::Nat(n))
+    }
+
+    /// A pair `(a, b)`.
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::mk(Kind::Pair(a, b))
+    }
+
+    /// Left injection.
+    pub fn inl(v: Value) -> Self {
+        Value::mk(Kind::Inl(v))
+    }
+
+    /// Right injection.
+    pub fn inr(v: Value) -> Self {
+        Value::mk(Kind::Inr(v))
+    }
+
+    /// A sequence.
+    pub fn seq(vs: Vec<Value>) -> Self {
+        Value::mk(Kind::Seq(vs))
+    }
+
+    /// The boolean encoding of the paper: `true = inl(())`, `false = inr(())`.
+    pub fn bool_(b: bool) -> Self {
+        if b {
+            Value::inl(Value::unit())
+        } else {
+            Value::inr(Value::unit())
+        }
+    }
+
+    /// A sequence of naturals (convenience for tests and workloads).
+    pub fn nat_seq<I: IntoIterator<Item = u64>>(ns: I) -> Self {
+        Value::seq(ns.into_iter().map(Value::nat).collect())
+    }
+
+    /// The cached unit size of the paper's size measure.
+    pub fn size(&self) -> u64 {
+        self.0.size
+    }
+
+    /// The shape of this value.
+    pub fn kind(&self) -> &Kind {
+        &self.0.kind
+    }
+
+    /// Natural-number payload, if this is a `Nat`.
+    pub fn as_nat(&self) -> Option<u64> {
+        match self.kind() {
+            Kind::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Pair components, if this is a `Pair`.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self.kind() {
+            Kind::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self.kind() {
+            Kind::Seq(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Decodes the paper's boolean encoding (`inl(()) = true`, `inr(()) = false`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.kind() {
+            Kind::Inl(v) if matches!(v.kind(), Kind::Unit) => Some(true),
+            Kind::Inr(v) if matches!(v.kind(), Kind::Unit) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Extracts the elements of a `Seq` of `Nat`s.
+    pub fn as_nat_seq(&self) -> Option<Vec<u64>> {
+        self.as_seq()?.iter().map(Value::as_nat).collect()
+    }
+
+    /// True iff this value is the empty sequence.
+    pub fn is_empty_seq(&self) -> bool {
+        matches!(self.kind(), Kind::Seq(vs) if vs.is_empty())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        if self.size() != other.size() {
+            return false;
+        }
+        self.kind() == other.kind()
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            Kind::Unit => write!(f, "()"),
+            Kind::Nat(n) => write!(f, "{n}"),
+            Kind::Pair(a, b) => write!(f, "({a}, {b})"),
+            Kind::Inl(v) => {
+                if let Some(b) = self.as_bool() {
+                    write!(f, "{b}")
+                } else {
+                    write!(f, "inl({v})")
+                }
+            }
+            Kind::Inr(v) => {
+                if let Some(b) = self.as_bool() {
+                    write!(f, "{b}")
+                } else {
+                    write!(f, "inr({v})")
+                }
+            }
+            Kind::Seq(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_measure() {
+        assert_eq!(Value::unit().size(), 1);
+        assert_eq!(Value::nat(42).size(), 1);
+        assert_eq!(Value::pair(Value::nat(1), Value::nat(2)).size(), 3);
+        assert_eq!(Value::inl(Value::unit()).size(), 2);
+        assert_eq!(Value::inr(Value::nat(7)).size(), 2);
+        // size([C0..Cn-1]) = 1 + sum of sizes
+        assert_eq!(Value::nat_seq([1, 2, 3]).size(), 4);
+        assert_eq!(Value::seq(vec![]).size(), 1);
+        let nested = Value::seq(vec![Value::nat_seq([1, 2]), Value::nat_seq([])]);
+        assert_eq!(nested.size(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn bool_encoding_round_trips() {
+        assert_eq!(Value::bool_(true).as_bool(), Some(true));
+        assert_eq!(Value::bool_(false).as_bool(), Some(false));
+        assert_eq!(Value::inl(Value::nat(3)).as_bool(), None);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = Value::pair(Value::nat(1), Value::nat_seq([2, 3]));
+        let b = Value::pair(Value::nat(1), Value::nat_seq([2, 3]));
+        assert_eq!(a, b);
+        assert_ne!(a, Value::pair(Value::nat(1), Value::nat_seq([2, 4])));
+        assert_ne!(Value::unit(), Value::nat(0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::pair(Value::bool_(true), Value::nat_seq([1, 2]));
+        assert_eq!(v.to_string(), "(true, [1, 2])");
+        assert_eq!(Value::inl(Value::nat(5)).to_string(), "inl(5)");
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Value::nat_seq([5, 6]);
+        assert_eq!(s.as_nat_seq(), Some(vec![5, 6]));
+        assert!(Value::seq(vec![]).is_empty_seq());
+        assert!(!s.is_empty_seq());
+        assert_eq!(Value::nat(9).as_nat(), Some(9));
+        assert!(Value::nat(9).as_seq().is_none());
+    }
+}

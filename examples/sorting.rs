@@ -1,0 +1,42 @@
+//! Valiant's O(log n log log n) mergesort (Figures 1-3) end to end:
+//! the map-recursive definition, its direct cost, and the Theorem 4.2
+//! translation into pure NSC while-loops.
+//!
+//! Run with: `cargo run --release --example sorting`
+
+use nsc::algorithms::valiant;
+use nsc::core::eval::apply_func;
+use nsc::core::maprec::direct::eval_maprec;
+use nsc::core::maprec::translate::translate;
+use nsc::core::value::Value;
+
+fn main() {
+    let def = valiant::mergesort_def();
+    let xs: Vec<u64> = (0..64u64).map(|i| (i * 2654435761) % 997).collect();
+    let arg = Value::nat_seq(xs.clone());
+
+    // Reference semantics of the recursive program.
+    let out = eval_maprec(&def, arg.clone()).unwrap();
+    let mut want = xs.clone();
+    want.sort();
+    assert_eq!(out.value.as_nat_seq().unwrap(), want);
+    println!("mergesort(n={}) sorted correctly", xs.len());
+    println!("source cost: {}", out.cost);
+    println!(
+        "divide-and-conquer tree: {} nodes, depth {}, {} leaf levels",
+        out.stats.nodes, out.stats.depth, out.stats.leaf_levels
+    );
+
+    // Theorem 4.2: the same algorithm as a recursion-free NSC program.
+    let pure_nsc = translate(&def);
+    let (v, cost) = apply_func(&pure_nsc, arg).unwrap();
+    assert_eq!(v.as_nat_seq().unwrap(), want);
+    println!("translated (while-based) cost: {cost}");
+
+    // Shape check: quadrupling n moves T only a little (log n log log n).
+    for n in [64u64, 256] {
+        let xs: Vec<u64> = (0..n).map(|i| (i * 40503) % 1009).collect();
+        let out = eval_maprec(&def, Value::nat_seq(xs)).unwrap();
+        println!("n = {n:4}: T = {:6}  W = {:9}", out.cost.time, out.cost.work);
+    }
+}

@@ -1,0 +1,31 @@
+//! # nsc — reproduction of *Efficient Compilation of High-Level Data
+//! Parallel Algorithms* (Suciu & Tannen, 1994)
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! * [`core`] — the NSC calculus: AST, type checker, the
+//!   Definition 3.1 cost-instrumented evaluator, the section-3 standard
+//!   library, and the Theorem 4.2 map-recursion translation;
+//! * [`algebra`] — NSA (Appendix C), the flat Sequence
+//!   Algebra (Appendix D), the `SEQ` encoding and Map Lemma (Lemma 7.2),
+//!   and the flattening translation (Proposition 7.4);
+//! * [`compile`] — SA → BVRAM code generation
+//!   (Proposition 7.5) and the full Theorem 7.1 pipeline;
+//! * [`machine`] — the Bounded Vector Random Access Machine with
+//!   sequential and rayon backends;
+//! * [`net`] — the Proposition 2.1 butterfly-network bound;
+//! * [`sched`] — the Proposition 3.2 CREW-with-scan Brent
+//!   simulation;
+//! * [`algorithms`] — Valiant's `O(log n log log n)`
+//!   mergesort (Figures 1–3) and friends.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-
+//! measured record.
+
+pub use bvram as machine;
+pub use butterfly as net;
+pub use nsc_algebra as algebra;
+pub use nsc_algorithms as algorithms;
+pub use nsc_compile as compile;
+pub use nsc_core as core;
+pub use pram as sched;

@@ -1,0 +1,178 @@
+//! Property-based tests over the reproduction's core invariants:
+//! encodings are bijections, the segmented toolkit operations satisfy
+//! their algebraic laws, and every language layer agrees with the one
+//! above it on randomized inputs.
+
+use nsc::algebra::sa::flatten::{compile_type, decode, encode};
+use nsc::algebra::sa::map_lemma as ml;
+use nsc::algebra::sa::seq::{batch_len, decode_batch, encode_batch, seq_type};
+use nsc::core::value::Value;
+use nsc::core::Type;
+use proptest::prelude::*;
+
+/// Random nested value of type [[N]] (the workhorse nested type).
+fn nested() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..100, 0..6), 0..8)
+}
+
+fn to_value(v: &[Vec<u64>]) -> Value {
+    Value::seq(v.iter().map(|xs| Value::nat_seq(xs.iter().copied())).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SEQ batch encoding is a bijection on [N]-element batches.
+    #[test]
+    fn prop_seq_encoding_bijective(v in nested()) {
+        let t = Type::seq(Type::Nat);
+        let vals: Vec<Value> = v.iter().map(|xs| Value::nat_seq(xs.iter().copied())).collect();
+        let enc = encode_batch(&vals, &t).unwrap();
+        prop_assert!(seq_type(&t).admits(&enc));
+        prop_assert_eq!(batch_len(&enc, &t).unwrap(), vals.len());
+        prop_assert_eq!(decode_batch(&enc, &t).unwrap(), vals);
+    }
+
+    /// COMPILE's encode/decode round-trips arbitrary [[N]] values.
+    #[test]
+    fn prop_compile_encoding_bijective(v in nested()) {
+        let t = Type::seq(Type::seq(Type::Nat));
+        let val = to_value(&v);
+        let enc = encode(&val, &t).unwrap();
+        prop_assert!(compile_type(&t).admits(&enc));
+        prop_assert_eq!(decode(&enc, &t).unwrap(), val);
+    }
+
+    /// pack(flags) ++ pack(!flags) is a permutation-free partition: merging
+    /// the two parts back with the same flags restores the batch.
+    #[test]
+    fn prop_pack_merge_inverse(v in nested()) {
+        let t = Type::seq(Type::Nat);
+        let vals: Vec<Value> = v.iter().map(|xs| Value::nat_seq(xs.iter().copied())).collect();
+        let flags: Vec<bool> = vals.iter().enumerate().map(|(i, _)| i % 3 != 1).collect();
+        let fl = Value::seq(flags.iter().map(|b| Value::bool_(*b)).collect());
+        let enc = encode_batch(&vals, &t).unwrap();
+
+        let packed_t = nsc::algebra::sa::apply_sa(
+            &ml::pack_enc(&t).unwrap(),
+            &Value::pair(fl.clone(), enc.clone()),
+        ).unwrap().0;
+        let packed_f = nsc::algebra::sa::apply_sa(
+            &ml::pack_enc_false(&t).unwrap(),
+            &Value::pair(fl.clone(), enc),
+        ).unwrap().0;
+        let merged = nsc::algebra::sa::apply_sa(
+            &ml::merge_enc(&t).unwrap(),
+            &Value::pair(fl, Value::pair(packed_t, packed_f)),
+        ).unwrap().0;
+        prop_assert_eq!(decode_batch(&merged, &t).unwrap(), vals);
+    }
+
+    /// reorder_enc really is a stable sort by index: feeding any
+    /// permutation of 0..n restores ascending order.
+    #[test]
+    fn prop_reorder_sorts_by_index(v in nested(), seed in 0u64..1000) {
+        let t = Type::seq(Type::Nat);
+        let n = v.len();
+        let vals: Vec<Value> = v.iter().map(|xs| Value::nat_seq(xs.iter().copied())).collect();
+        // pseudo-random permutation from the seed
+        let mut perm: Vec<u64> = (0..n as u64).collect();
+        for i in 0..n {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) as usize) % n.max(1);
+            perm.swap(i, j);
+        }
+        // batch arranged so element k holds original index perm[k]
+        let enc = encode_batch(&vals, &t).unwrap();
+        let idx = Value::nat_seq(perm.iter().copied());
+        let out = nsc::algebra::sa::apply_sa(
+            &ml::reorder_enc(&t).unwrap(),
+            &Value::pair(idx, enc),
+        ).unwrap().0;
+        let got = decode_batch(&out, &t).unwrap();
+        // got[j] must be the element whose index was j, i.e. vals inverse-permuted
+        let mut want = vec![Value::nat_seq([]); n];
+        for (k, &p) in perm.iter().enumerate() {
+            want[p as usize] = vals[k].clone();
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// gather_sorted == indexing for arbitrary sorted index sets.
+    #[test]
+    fn prop_gather_sorted(xs in proptest::collection::vec(0u64..500, 1..30),
+                          picks in proptest::collection::vec(0usize..29, 0..10)) {
+        let n = xs.len();
+        let mut idx: Vec<u64> = picks.iter().map(|p| (*p % n) as u64).collect();
+        idx.sort();
+        let want: Vec<u64> = idx.iter().map(|i| xs[*i as usize]).collect();
+        let arg = Value::pair(Value::nat_seq(xs), Value::nat_seq(idx));
+        let (o, _) = nsc::algebra::sa::apply_sa(&ml::gather_sorted(), &arg).unwrap();
+        prop_assert_eq!(o.as_nat_seq().unwrap(), want);
+    }
+
+    /// BVRAM prefix-sum codegen equals the reference scan for any input.
+    #[test]
+    fn prop_prefix_sum_codegen(xs in proptest::collection::vec(0u64..1000, 0..80)) {
+        use nsc::algebra::sa::Sa;
+        let (prog, _) = nsc::compile::compile_sa(&Sa::PrefixSum, &Type::seq(Type::Nat)).unwrap();
+        let out = nsc::machine::run_program(&prog, &[xs.clone()]).unwrap();
+        let want: Vec<u64> = xs.iter().scan(0u64, |a, x| { *a += x; Some(*a) }).collect();
+        prop_assert_eq!(out.outputs[0].clone(), want);
+    }
+
+    /// The rayon backend is bit-for-bit the sequential machine.
+    #[test]
+    fn prop_par_machine_agrees(xs in proptest::collection::vec(0u64..1000, 1..200)) {
+        use nsc::machine::{Builder, Instr::*, Op};
+        let mut b = Builder::new(1, 1);
+        b.push(Enumerate { dst: 1, src: 0 })
+            .push(Arith { dst: 2, op: Op::Mul, a: 0, b: 1 })
+            .push(Arith { dst: 3, op: Op::Max, a: 2, b: 0 })
+            .push(Select { dst: 0, src: 3 })
+            .push(Halt);
+        let p = b.build();
+        let seq = nsc::machine::run_program(&p, &[xs.clone()]).unwrap();
+        let par = nsc::machine::ParMachine::new(p.n_regs).run(&p, &[xs]).unwrap();
+        prop_assert_eq!(seq.outputs, par.outputs);
+        prop_assert_eq!(seq.stats, par.stats);
+    }
+
+    /// NSC evaluator and NSA translation agree on stdlib pipelines over
+    /// random data (Proposition C.1 on values).
+    #[test]
+    fn prop_nsc_nsa_agree(xs in proptest::collection::vec(0u64..100, 0..40)) {
+        use nsc::core::ast as a;
+        let f = a::lam("x", nsc::core::stdlib::numeric::prefix_sum(a::var("x")));
+        let arg = Value::nat_seq(xs);
+        let (want, _) = nsc::core::eval::apply_func(&f, arg.clone()).unwrap();
+        let g = nsc::algebra::nsa::from_nsc::func_to_nsa(&f).unwrap();
+        let (got, _) = nsc::algebra::nsa::apply(&g, &arg).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Butterfly monotone routing delivers every packet and never
+    /// congests (Proposition 2.1's obliviousness).
+    #[test]
+    fn prop_butterfly_monotone_oblivious(k in 1usize..100) {
+        let net = nsc::net::Butterfly::for_size(2 * k);
+        // any monotone injection src -> dst with dst >= src... use dst = min(2*src, rows-1) monotone
+        let rows = net.rows();
+        let packets: Vec<(usize, usize, u64)> = (0..k)
+            .map(|i| (i, (2 * i).min(rows - 1), i as u64))
+            .collect();
+        // make strictly monotone to stay a valid packing pattern
+        let mut last = 0usize;
+        let packets: Vec<(usize, usize, u64)> = packets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, d, p))| {
+                let d = d.max(last.min(rows - 1)).min(rows - 1);
+                last = (d + 1).min(rows - 1);
+                (s.min(rows - 1), d, p + i as u64 - i as u64)
+            })
+            .collect();
+        let (_, stats) = net.route(&packets);
+        prop_assert!(stats.max_congestion <= 1);
+        prop_assert_eq!(stats.steps, rows.trailing_zeros() as u64);
+    }
+}
