@@ -137,46 +137,6 @@ pub fn apply_scalar(f: &Scalar, x: &Value) -> Result<Value, E> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::b::*;
-    use super::*;
-
-    #[test]
-    fn arithmetic_and_projection() {
-        let v = Value::pair(Value::nat(10), Value::nat(3));
-        assert_eq!(
-            apply_scalar(&Scalar::Arith(ArithOp::Monus), &v).unwrap(),
-            Value::nat(7)
-        );
-        assert_eq!(apply_scalar(&Scalar::Pi2, &v).unwrap(), Value::nat(3));
-    }
-
-    #[test]
-    fn conditional_scalar() {
-        // if x <= y then 1 else 0
-        let f = ifs(Scalar::Cmp(CmpOp::Le), Scalar::Const(1), Scalar::Const(0));
-        let v = Value::pair(Value::nat(2), Value::nat(5));
-        assert_eq!(apply_scalar(&f, &v).unwrap(), Value::nat(1));
-        let v = Value::pair(Value::nat(6), Value::nat(5));
-        assert_eq!(apply_scalar(&f, &v).unwrap(), Value::nat(0));
-    }
-
-    #[test]
-    fn sums_and_dist() {
-        let v = Value::pair(Value::inr(Value::nat(4)), Value::nat(9));
-        let d = apply_scalar(&Scalar::DistS, &v).unwrap();
-        assert_eq!(d, Value::inr(Value::pair(Value::nat(4), Value::nat(9))));
-    }
-
-    #[test]
-    fn scalar_type_recognition() {
-        assert!(is_scalar_type(&Type::prod(Type::Nat, Type::bool_())));
-        assert!(!is_scalar_type(&Type::seq(Type::Nat)));
-        assert!(!is_scalar_type(&Type::prod(Type::Nat, Type::seq(Type::Unit))));
-    }
-}
-
 /// Infers the codomain of a scalar function from its domain.
 pub fn scalar_cod(f: &Scalar, dom: &Type) -> Result<Type, E> {
     match f {
@@ -218,5 +178,45 @@ pub fn scalar_cod(f: &Scalar, dom: &Type) -> Result<Type, E> {
             },
             _ => Err(E::Stuck("scalar_cod dist")),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::b::*;
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_projection() {
+        let v = Value::pair(Value::nat(10), Value::nat(3));
+        assert_eq!(
+            apply_scalar(&Scalar::Arith(ArithOp::Monus), &v).unwrap(),
+            Value::nat(7)
+        );
+        assert_eq!(apply_scalar(&Scalar::Pi2, &v).unwrap(), Value::nat(3));
+    }
+
+    #[test]
+    fn conditional_scalar() {
+        // if x <= y then 1 else 0
+        let f = ifs(Scalar::Cmp(CmpOp::Le), Scalar::Const(1), Scalar::Const(0));
+        let v = Value::pair(Value::nat(2), Value::nat(5));
+        assert_eq!(apply_scalar(&f, &v).unwrap(), Value::nat(1));
+        let v = Value::pair(Value::nat(6), Value::nat(5));
+        assert_eq!(apply_scalar(&f, &v).unwrap(), Value::nat(0));
+    }
+
+    #[test]
+    fn sums_and_dist() {
+        let v = Value::pair(Value::inr(Value::nat(4)), Value::nat(9));
+        let d = apply_scalar(&Scalar::DistS, &v).unwrap();
+        assert_eq!(d, Value::inr(Value::pair(Value::nat(4), Value::nat(9))));
+    }
+
+    #[test]
+    fn scalar_type_recognition() {
+        assert!(is_scalar_type(&Type::prod(Type::Nat, Type::bool_())));
+        assert!(!is_scalar_type(&Type::seq(Type::Nat)));
+        assert!(!is_scalar_type(&Type::prod(Type::Nat, Type::seq(Type::Unit))));
     }
 }

@@ -1,0 +1,79 @@
+//! Golden tests: Valiant's map-recursive mergesort (Figures 1–3) really
+//! sorts, agreeing with `sort_unstable` on empty, singleton, duplicate,
+//! and pseudo-randomized inputs — both under the direct map-recursion
+//! semantics and through the Theorem 4.2 translation.
+
+use nsc_algorithms::valiant;
+use nsc_core::maprec::direct::eval_maprec;
+use nsc_core::maprec::translate::translate;
+use nsc_core::value::Value;
+
+/// Sorts through the direct map-recursion evaluator.
+fn valiant_sort(xs: &[u64]) -> Vec<u64> {
+    let out = eval_maprec(&valiant::mergesort_def(), Value::nat_seq(xs.iter().copied()))
+        .expect("mergesort evaluation failed");
+    out.value.as_nat_seq().expect("mergesort output is not [N]")
+}
+
+/// Deterministic splitmix64 stream for reproducible "random" inputs.
+fn pseudo_random(seed: u64, len: usize, modulus: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % modulus
+        })
+        .collect()
+}
+
+fn check(xs: &[u64]) {
+    let mut want = xs.to_vec();
+    want.sort_unstable();
+    assert_eq!(valiant_sort(xs), want, "input: {xs:?}");
+}
+
+#[test]
+fn sorts_empty_and_singleton() {
+    check(&[]);
+    check(&[0]);
+    check(&[42]);
+}
+
+#[test]
+fn sorts_small_fixed_cases() {
+    check(&[2, 1]);
+    check(&[1, 2]);
+    check(&[3, 1, 2]);
+    check(&[9, 8, 7, 6, 5, 4, 3, 2, 1, 0]);
+    check(&(0..17).collect::<Vec<u64>>()); // already sorted
+}
+
+#[test]
+fn sorts_inputs_with_duplicates() {
+    check(&[5, 5, 5, 5, 5]);
+    check(&[1, 0, 1, 0, 1, 0, 1]);
+    check(&[7, 3, 7, 1, 3, 7, 3, 1, 1, 7]);
+    // Many collisions: values drawn from a tiny alphabet.
+    check(&pseudo_random(0xD1CE, 40, 4));
+}
+
+#[test]
+fn sorts_randomized_inputs_across_sizes() {
+    for (i, len) in [2usize, 3, 5, 8, 13, 21, 34, 55, 89].iter().enumerate() {
+        check(&pseudo_random(0xBEEF ^ i as u64, *len, 1000));
+    }
+}
+
+#[test]
+fn translated_mergesort_agrees_on_duplicates() {
+    // Same algorithm pushed through the Theorem 4.2 while-translation.
+    let f = translate(&valiant::mergesort_def());
+    let xs = pseudo_random(0xFACE, 24, 6);
+    let mut want = xs.clone();
+    want.sort_unstable();
+    let (v, _) = nsc_core::eval::apply_func(&f, Value::nat_seq(xs)).unwrap();
+    assert_eq!(v.as_nat_seq().unwrap(), want);
+}

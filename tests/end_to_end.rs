@@ -1,35 +1,13 @@
 //! Cross-crate integration tests: the paper's whole pipeline exercised
 //! from the facade crate, plus property-based differential testing.
 
+use common::suite;
 use nsc::core::ast as a;
 use nsc::core::value::Value;
 use nsc::core::Type;
 use proptest::prelude::*;
 
-/// A small suite of closed NSC functions over [N] used in several tests.
-fn suite() -> Vec<(&'static str, nsc::core::Func)> {
-    vec![
-        (
-            "square+1",
-            a::map(a::lam("x", a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)))),
-        ),
-        (
-            "running-sum",
-            a::lam("x", nsc::core::stdlib::numeric::prefix_sum(a::var("x"))),
-        ),
-        (
-            "tree-sum",
-            a::lam("x", nsc::core::stdlib::numeric::sum_seq(a::var("x"))),
-        ),
-        (
-            "halve-all",
-            a::map(a::while_(
-                a::lam("x", a::lt(a::nat(0), a::var("x"))),
-                a::lam("x", a::rshift(a::var("x"), a::nat(1))),
-            )),
-        ),
-    ]
-}
+mod common;
 
 #[test]
 fn whole_pipeline_agrees_on_suite() {

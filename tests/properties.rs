@@ -19,6 +19,24 @@ fn to_value(v: &[Vec<u64>]) -> Value {
     Value::seq(v.iter().map(|xs| Value::nat_seq(xs.iter().copied())).collect())
 }
 
+mod common;
+
+thread_local! {
+    /// The shared suite with each function compiled down to the BVRAM
+    /// once per thread, not once per property case. (`Func` holds `Rc`s,
+    /// so a process-global cache is not an option.)
+    static COMPILED_SUITE: Vec<(&'static str, nsc::core::Func, nsc::compile::Compiled)> = {
+        let dom = Type::seq(Type::Nat);
+        common::suite()
+            .into_iter()
+            .map(|(name, f)| {
+                let c = nsc::compile::compile_nsc(&f, &dom).expect(name);
+                (name, f, c)
+            })
+            .collect()
+    };
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -115,7 +133,7 @@ proptest! {
     fn prop_prefix_sum_codegen(xs in proptest::collection::vec(0u64..1000, 0..80)) {
         use nsc::algebra::sa::Sa;
         let (prog, _) = nsc::compile::compile_sa(&Sa::PrefixSum, &Type::seq(Type::Nat)).unwrap();
-        let out = nsc::machine::run_program(&prog, &[xs.clone()]).unwrap();
+        let out = nsc::machine::run_program(&prog, std::slice::from_ref(&xs)).unwrap();
         let want: Vec<u64> = xs.iter().scan(0u64, |a, x| { *a += x; Some(*a) }).collect();
         prop_assert_eq!(out.outputs[0].clone(), want);
     }
@@ -131,7 +149,7 @@ proptest! {
             .push(Select { dst: 0, src: 3 })
             .push(Halt);
         let p = b.build();
-        let seq = nsc::machine::run_program(&p, &[xs.clone()]).unwrap();
+        let seq = nsc::machine::run_program(&p, std::slice::from_ref(&xs)).unwrap();
         let par = nsc::machine::ParMachine::new(p.n_regs).run(&p, &[xs]).unwrap();
         prop_assert_eq!(seq.outputs, par.outputs);
         prop_assert_eq!(seq.stats, par.stats);
@@ -148,6 +166,54 @@ proptest! {
         let g = nsc::algebra::nsa::from_nsc::func_to_nsa(&f).unwrap();
         let (got, _) = nsc::algebra::nsa::apply(&g, &arg).unwrap();
         prop_assert_eq!(got, want);
+    }
+
+    /// Definition 3.1 evaluator costs and compiled-BVRAM machine costs
+    /// agree on the *direction* of the asymptotics on the end-to-end
+    /// suite: both work measures grow strictly with input length, the
+    /// evaluator's parallel time never decreases, and whenever the
+    /// evaluator's time steps up (a new recursion/iteration level) the
+    /// machine's step count steps up with it. (Machine steps are allowed
+    /// a small wobble *within* a level: ragged divide-and-conquer splits
+    /// make e.g. n=4 a few instructions cheaper than n=3.)
+    #[test]
+    fn prop_costs_monotone_in_input_size(n1 in 1u64..24, extra in 1u64..24) {
+        let n2 = n1 + extra;
+        // Inputs at n1 are a prefix of inputs at n2, so every per-element
+        // quantity (e.g. while-iteration counts) is pointwise dominated.
+        let arg = |n: u64| Value::nat_seq((0..n).map(|i| (i * 31) % 17));
+        COMPILED_SUITE.with(|suite| {
+            for (name, f, c) in suite {
+                let (_, src1) = nsc::core::eval::apply_func(f, arg(n1)).unwrap();
+                let (_, src2) = nsc::core::eval::apply_func(f, arg(n2)).unwrap();
+                let (_, tgt1) = nsc::compile::run_compiled(c, &arg(n1)).unwrap();
+                let (_, tgt2) = nsc::compile::run_compiled(c, &arg(n2)).unwrap();
+                prop_assert!(
+                    src2.work > src1.work,
+                    "{name}: evaluator work not strictly monotone ({} at n={n1}, {} at n={n2})",
+                    src1.work, src2.work
+                );
+                prop_assert!(
+                    tgt2.work > tgt1.work,
+                    "{name}: machine work not strictly monotone ({} at n={n1}, {} at n={n2})",
+                    tgt1.work, tgt2.work
+                );
+                prop_assert!(
+                    src2.time >= src1.time,
+                    "{name}: evaluator time decreased ({} at n={n1}, {} at n={n2})",
+                    src1.time, src2.time
+                );
+                if src2.time > src1.time {
+                    prop_assert!(
+                        tgt2.time > tgt1.time,
+                        "{name}: evaluator time grew ({} -> {}) but machine steps did not \
+                         ({} at n={n1}, {} at n={n2})",
+                        src1.time, src2.time, tgt1.time, tgt2.time
+                    );
+                }
+            }
+            Ok(())
+        })?;
     }
 
     /// Butterfly monotone routing delivers every packet and never

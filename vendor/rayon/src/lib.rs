@@ -1,0 +1,213 @@
+//! A minimal, API-compatible stand-in for the subset of [rayon] this
+//! workspace uses. The build environment has no network access to a crates
+//! registry, so the real crate cannot be fetched; this shim keeps the
+//! `bvram::par` backend compiling and semantically identical.
+//!
+//! Semantics:
+//!
+//! * `par_iter()` / `into_par_iter()` return the corresponding *standard*
+//!   sequential iterators. Every combinator the workspace uses (`zip`,
+//!   `map`, `filter`, `copied`, `sum`, `collect`) therefore behaves
+//!   bit-for-bit like its rayon counterpart (rayon guarantees the same
+//!   observable results as sequential iteration for these adapters).
+//! * `par_chunks_mut(n)` performs *real* multi-threaded execution: its
+//!   `enumerate().for_each(f)` distributes chunks over
+//!   `std::thread::available_parallelism()` scoped threads, since disjoint
+//!   `&mut` chunks are embarrassingly parallel.
+//!
+//! Replacing this shim with the real `rayon` is a one-line edit to the
+//! workspace `Cargo.toml` once a registry is reachable.
+//!
+//! [rayon]: https://crates.io/crates/rayon
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The rayon prelude: traits that put `par_iter`-style methods in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Marker alias so `impl ParallelIterator` bounds read like rayon's.
+///
+/// In this shim every "parallel iterator" *is* a standard [`Iterator`], so
+/// the trait is a blanket re-statement of `Iterator`.
+pub trait ParallelIterator: Iterator {}
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `collection.par_iter()` — shim: the standard shared-reference iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the iterator.
+    type Item: 'a;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Returns a "parallel" iterator over shared references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `range.into_par_iter()` — shim: the value itself (already an iterator).
+pub trait IntoParallelIterator {
+    /// Item type yielded by the iterator.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts `self` into a "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — genuinely parallel over scoped threads.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements and
+    /// returns a parallel iterator over them.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index, preserving rayon's API shape.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut(self)
+    }
+
+    /// Runs `f` on every chunk, distributing chunks over scoped threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`].
+pub struct EnumerateParChunksMut<'a, T: Send>(ParChunksMut<'a, T>);
+
+/// A claimable work item: an indexed chunk behind a mutex so any worker
+/// thread may take ownership of it exactly once.
+type WorkCell<'a, T> = std::sync::Mutex<Option<(usize, &'a mut [T])>>;
+
+impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    ///
+    /// Chunks are handed out through an atomic work index so the load
+    /// balances even when per-chunk cost varies.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.0.chunk_size;
+        let mut chunks: Vec<(usize, &mut [T])> =
+            self.0.slice.chunks_mut(chunk_size).enumerate().collect();
+        if chunks.is_empty() {
+            return;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(chunks.len());
+        if workers <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Wrap each work item so threads can claim them by index.
+        let cells: Vec<WorkCell<'_, T>> = chunks
+            .drain(..)
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let cells = &cells;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let item = cells[i].lock().unwrap().take();
+                    if let Some(item) = item {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v: Vec<u64> = (0..100).collect();
+        let a: u64 = v.par_iter().sum();
+        let b: u64 = v.iter().sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_par_iter_collects_range() {
+        let got: Vec<u64> = (0u64..10).into_par_iter().collect();
+        assert_eq!(got, (0u64..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 64 + j) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, x)| *x == i as u64));
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_empty_slice() {
+        let mut v: Vec<u64> = Vec::new();
+        v.par_chunks_mut(8).for_each(|_| panic!("no chunks expected"));
+    }
+}
