@@ -1,0 +1,330 @@
+//! Control-flow and liveness analysis over BVRAM [`Program`]s.
+//!
+//! The optimizer in `nsc-compile` (and any other program-transformation
+//! client) builds on the primitives here: **basic blocks** (maximal
+//! straight-line runs), the **control-flow successors** of every
+//! instruction, **reachability**, the [`can_fault`] classification, and
+//! the [`RegSet`] bitset.
+//!
+//! [`Liveness`] additionally offers dense per-instruction liveness as
+//! the reference formulation of the dataflow problem.  Note that the
+//! optimizer's own passes do *not* use it: compiled programs reach
+//! millions of instructions with one fresh register per temporary, so
+//! dead-code elimination uses reference counting and move coalescing
+//! runs a block-level fixpoint over the move-related registers only.
+//! The dense version is right for small hand-built programs and for
+//! cross-checking those sparse analyses.
+//!
+//! Liveness models the program boundary conventions of
+//! [`crate::exec::Machine`]:
+//!
+//! * at entry, registers `0 .. r_in` hold the inputs and every other
+//!   register holds the empty vector (both count as *definitions*);
+//! * `Halt` *uses* registers `0 .. r_out` (they are the outputs).
+
+use crate::instr::Instr;
+use crate::program::Program;
+
+/// A dense bitset over register indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// The empty set over a universe of `n` registers.
+    pub fn new(n: usize) -> Self {
+        RegSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `r`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, r: u32) -> bool {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        self.words[w] != old
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: u32) {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: u32) -> bool {
+        let (w, b) = (r as usize / 64, r as usize % 64);
+        self.words.get(w).is_some_and(|x| x >> b & 1 == 1)
+    }
+
+    /// `self |= other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self &= !other` (set difference), word-wise.
+    pub fn difference_with(&mut self, other: &RegSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Reuses this set's storage to become a copy of `other`.
+    pub fn clone_from_set(&mut self, other: &RegSet) {
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, bits)| {
+            (0..64)
+                .filter(move |b| bits >> b & 1 == 1)
+                .map(move |b| (w * 64 + b) as u32)
+        })
+    }
+}
+
+/// The control-flow successors of the instruction at `pc`.
+///
+/// `Halt` has none; `Goto` has exactly its target; `IfEmptyGoto` has the
+/// target and the fallthrough; everything else falls through.  A
+/// fallthrough off the end of the program is reported as no successor
+/// (the machine faults with `FellOffEnd` there, so nothing downstream
+/// executes).
+pub fn successors(prog: &Program, pc: usize) -> Vec<usize> {
+    let n = prog.instrs.len();
+    let fall = |p: usize| if p + 1 < n { vec![p + 1] } else { vec![] };
+    match &prog.instrs[pc] {
+        Instr::Halt => vec![],
+        Instr::Goto { target } => vec![*target as usize],
+        Instr::IfEmptyGoto { target, .. } => {
+            let mut s = vec![*target as usize];
+            s.extend(fall(pc));
+            s
+        }
+        _ => fall(pc),
+    }
+}
+
+/// Instruction indices that start a basic block: the entry, every jump
+/// target, and every instruction following a jump.
+pub fn block_leaders(prog: &Program) -> Vec<usize> {
+    let n = prog.instrs.len();
+    let mut leader = vec![false; n];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (pc, ins) in prog.instrs.iter().enumerate() {
+        match ins {
+            Instr::Goto { target } | Instr::IfEmptyGoto { target, .. } => {
+                if (*target as usize) < n {
+                    leader[*target as usize] = true;
+                }
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            Instr::Halt if pc + 1 < n => leader[pc + 1] = true,
+            _ => {}
+        }
+    }
+    (0..n).filter(|&i| leader[i]).collect()
+}
+
+/// The set of instruction indices reachable from the entry.
+pub fn reachable(prog: &Program) -> Vec<bool> {
+    let n = prog.instrs.len();
+    let mut seen = vec![false; n];
+    let mut stack = if n > 0 { vec![0usize] } else { vec![] };
+    while let Some(pc) = stack.pop() {
+        if pc >= n || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        stack.extend(successors(prog, pc));
+    }
+    seen
+}
+
+/// Per-instruction liveness facts.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers possibly read at or after instruction `i`, before being
+    /// overwritten (computed *before* `i` executes).
+    pub live_in: Vec<RegSet>,
+    /// Registers possibly read after instruction `i` completes.
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `prog` with the machine's I/O conventions
+    /// (`Halt` uses registers `0 .. r_out`).
+    pub fn of(prog: &Program) -> Liveness {
+        let n = prog.instrs.len();
+        let nr = prog.n_regs;
+        let mut live_in = vec![RegSet::new(nr); n];
+        let mut live_out = vec![RegSet::new(nr); n];
+        // Backward fixpoint. Iterate in reverse index order: block bodies
+        // converge in one sweep, loops in a few.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pc in (0..n).rev() {
+                let mut out = RegSet::new(nr);
+                for s in successors(prog, pc) {
+                    if s < n {
+                        out.union_with(&live_in[s]);
+                    }
+                }
+                let mut inn = out.clone();
+                if let Some(d) = prog.instrs[pc].output() {
+                    inn.remove(d);
+                }
+                for u in prog.instrs[pc].inputs() {
+                    inn.insert(u);
+                }
+                if let Instr::Halt = prog.instrs[pc] {
+                    for r in 0..prog.r_out {
+                        inn.insert(r as u32);
+                    }
+                }
+                if out != live_out[pc] {
+                    live_out[pc] = out;
+                    changed = true;
+                }
+                if inn != live_in[pc] {
+                    live_in[pc] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+/// Whether an instruction can fault at runtime (and therefore must never
+/// be removed even when its result is dead): elementwise arithmetic can
+/// overflow, divide by zero, or hit a length mismatch, and the routing
+/// instructions check their monotonicity invariants.  Everything else is
+/// total.
+pub fn can_fault(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::Arith { .. } | Instr::BmRoute { .. } | Instr::SbmRoute { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr::*, Op};
+    use crate::program::Builder;
+
+    fn loop_prog() -> Program {
+        // 0: if_empty v0 goto 4
+        // 1: enumerate v1 <- v0
+        // 2: select v0 <- v1
+        // 3: goto 0
+        // 4: halt
+        let mut b = Builder::new(1, 1);
+        b.label("loop")
+            .if_empty_goto(0, "done")
+            .push(Enumerate { dst: 1, src: 0 })
+            .push(Select { dst: 0, src: 1 })
+            .goto("loop")
+            .label("done")
+            .push(Halt);
+        b.build()
+    }
+
+    #[test]
+    fn successors_follow_jumps() {
+        let p = loop_prog();
+        assert_eq!(successors(&p, 0), vec![4, 1]);
+        assert_eq!(successors(&p, 1), vec![2]);
+        assert_eq!(successors(&p, 3), vec![0]);
+        assert_eq!(successors(&p, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn leaders_are_entry_targets_and_post_jumps() {
+        let p = loop_prog();
+        assert_eq!(block_leaders(&p), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn liveness_sees_loop_carried_registers() {
+        let p = loop_prog();
+        let l = Liveness::of(&p);
+        // v0 is live into the loop head (tested + enumerated + output).
+        assert!(l.live_in[0].contains(0));
+        // v1 is dead before the enumerate that defines it...
+        assert!(!l.live_in[1].contains(1));
+        // ...and live right after (the select reads it).
+        assert!(l.live_out[1].contains(1));
+        // At halt, the output register is live-in.
+        assert!(l.live_in[4].contains(0));
+    }
+
+    #[test]
+    fn dead_register_is_dead() {
+        let mut b = Builder::new(1, 1);
+        b.push(Length { dst: 5, src: 0 }).push(Halt);
+        let p = b.build();
+        let l = Liveness::of(&p);
+        assert!(!l.live_out[0].contains(5), "v5 is never read");
+        assert!(l.live_out[0].contains(0), "v0 is the output");
+    }
+
+    #[test]
+    fn reachability_skips_jumped_over_code() {
+        let mut b = Builder::new(0, 0);
+        b.goto("end")
+            .push(Singleton { dst: 0, n: 1 })
+            .label("end")
+            .push(Halt);
+        let p = b.build();
+        assert_eq!(reachable(&p), vec![true, false, true]);
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(can_fault(&Arith {
+            dst: 0,
+            op: Op::Add,
+            a: 0,
+            b: 0
+        }));
+        assert!(!can_fault(&Move { dst: 0, src: 1 }));
+        assert!(!can_fault(&Select { dst: 0, src: 1 }));
+        assert!(can_fault(&BmRoute {
+            dst: 0,
+            bound: 1,
+            counts: 2,
+            values: 3
+        }));
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(129) && !s.contains(64));
+        let mut t = RegSet::new(130);
+        t.insert(64);
+        assert!(s.union_with(&t));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        s.remove(64);
+        assert!(!s.contains(64));
+    }
+}

@@ -15,11 +15,16 @@ pub type Vector = Vec<u64>;
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
-    /// Parallel time: instructions executed.
+    /// Parallel time: instructions executed.  The final `Halt` counts as
+    /// one executed instruction.
     pub time: u64,
     /// Work: Σ lengths of input and output registers per instruction.
     pub work: u64,
-    /// Largest register length observed (memory high-water mark).
+    /// Largest register length *written* during the run (memory
+    /// high-water mark): the maximum, over executed instructions with an
+    /// output register, of the output's length after the write.  Input
+    /// registers that are never written do not contribute, so a program
+    /// that only reads its inputs reports `max_len == 0`.
     pub max_len: usize,
 }
 
@@ -104,20 +109,28 @@ pub fn bm_route(
     counts: &[u64],
     values: &[u64],
 ) -> Result<Vector, &'static str> {
-    if counts.len() != values.len() {
-        return Err("bm_route: |counts| != |values|");
-    }
-    let total: u64 = counts.iter().sum();
-    if total != bound_len as u64 {
-        return Err("bm_route: sum(counts) != |bound|");
-    }
-    let mut out = Vec::with_capacity(bound_len);
+    let mut out = Vec::new();
+    bm_route_into(&mut out, bound_len, counts, values)?;
+    Ok(out)
+}
+
+/// Like [`bm_route`], but writes into a caller-supplied buffer (cleared
+/// first) so the interpreter hot path can recycle allocations.
+pub fn bm_route_into(
+    out: &mut Vector,
+    bound_len: usize,
+    counts: &[u64],
+    values: &[u64],
+) -> Result<(), &'static str> {
+    validate_bm(bound_len, counts, values)?;
+    out.clear();
+    out.reserve(bound_len);
     for (c, v) in counts.iter().zip(values) {
         for _ in 0..*c {
             out.push(*v);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Computes `sbm_route`: replicate subsequence `i` of `(data, segs)`
@@ -128,6 +141,59 @@ pub fn sbm_route(
     data: &[u64],
     segs: &[u64],
 ) -> Result<Vector, &'static str> {
+    let mut out = Vec::new();
+    sbm_route_into(&mut out, bound_len, counts, data, segs)?;
+    Ok(out)
+}
+
+/// Like [`sbm_route`], but writes into a caller-supplied buffer (cleared
+/// first) so the interpreter hot path can recycle allocations.
+pub fn sbm_route_into(
+    out: &mut Vector,
+    bound_len: usize,
+    counts: &[u64],
+    data: &[u64],
+    segs: &[u64],
+) -> Result<(), &'static str> {
+    validate_sbm(bound_len, counts, data, segs)?;
+    out.clear();
+    let mut pos = 0usize;
+    for (c, s) in counts.iter().zip(segs) {
+        let s = *s as usize;
+        let seg = &data[pos..pos + s];
+        for _ in 0..*c {
+            out.extend_from_slice(seg);
+        }
+        pos += s;
+    }
+    Ok(())
+}
+
+/// The `bm_route` invariants, checked in a fixed order so every backend
+/// reports the identical fault message.
+pub(crate) fn validate_bm(
+    bound_len: usize,
+    counts: &[u64],
+    values: &[u64],
+) -> Result<(), &'static str> {
+    if counts.len() != values.len() {
+        return Err("bm_route: |counts| != |values|");
+    }
+    let total: u64 = counts.iter().sum();
+    if total != bound_len as u64 {
+        return Err("bm_route: sum(counts) != |bound|");
+    }
+    Ok(())
+}
+
+/// The `sbm_route` invariants, checked in a fixed order so every backend
+/// reports the identical fault message.
+pub(crate) fn validate_sbm(
+    bound_len: usize,
+    counts: &[u64],
+    data: &[u64],
+    segs: &[u64],
+) -> Result<(), &'static str> {
     if counts.len() != segs.len() {
         return Err("sbm_route: |counts| != |segs|");
     }
@@ -139,17 +205,88 @@ pub fn sbm_route(
     if data_total != data.len() as u64 {
         return Err("sbm_route: sum(segs) != |data|");
     }
-    let mut out = Vec::new();
-    let mut pos = 0usize;
-    for (c, s) in counts.iter().zip(segs) {
-        let s = *s as usize;
-        let seg = &data[pos..pos + s];
-        for _ in 0..*c {
-            out.extend_from_slice(seg);
-        }
-        pos += s;
+    Ok(())
+}
+
+/// Splits mutable access: `(&mut regs[i], &regs[j])` for `i != j`.
+pub(crate) fn reg_pair_mut(regs: &mut [Vector], i: usize, j: usize) -> (&mut Vector, &Vector) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = regs.split_at_mut(j);
+        (&mut lo[i], &hi[0])
+    } else {
+        let (lo, hi) = regs.split_at_mut(i);
+        (&mut hi[0], &lo[j])
     }
-    Ok(out)
+}
+
+// Aliasing-aware instruction bodies shared verbatim by [`Machine`] and
+// [`crate::par::ParMachine`] (whose results must stay bit-for-bit
+// identical): each recycles the destination buffer instead of allocating.
+
+/// `Vdst ← Vsrc` (no-op when `dst == src`; the cost is still charged by
+/// the caller).
+pub(crate) fn exec_move(regs: &mut [Vector], dst: usize, src: usize) {
+    if dst != src {
+        let (d, s) = reg_pair_mut(regs, dst, src);
+        d.clear();
+        d.extend_from_slice(s);
+    }
+}
+
+/// `Vdst ← Va @ Vb`.
+pub(crate) fn exec_append(regs: &mut [Vector], dst: usize, a: usize, b: usize) {
+    if dst == a && dst == b {
+        let d = &mut regs[dst];
+        d.extend_from_within(..);
+    } else if dst == a {
+        let (d, vb) = reg_pair_mut(regs, dst, b);
+        d.extend_from_slice(vb);
+    } else if dst == b {
+        let (d, va) = reg_pair_mut(regs, dst, a);
+        d.splice(0..0, va.iter().copied());
+    } else {
+        let mut out = std::mem::take(&mut regs[dst]);
+        out.clear();
+        out.extend_from_slice(&regs[a]);
+        out.extend_from_slice(&regs[b]);
+        regs[dst] = out;
+    }
+}
+
+/// `Vdst ← [n]`.
+pub(crate) fn exec_singleton(regs: &mut [Vector], dst: usize, n: u64) {
+    let d = &mut regs[dst];
+    d.clear();
+    d.push(n);
+}
+
+/// `Vdst ← [length(Vsrc)]`.
+pub(crate) fn exec_length(regs: &mut [Vector], dst: usize, src: usize) {
+    let n = regs[src].len() as u64;
+    let d = &mut regs[dst];
+    d.clear();
+    d.push(n);
+}
+
+/// `Vdst ← [0, …, length(Vsrc) − 1]`, sequentially.
+pub(crate) fn exec_enumerate(regs: &mut [Vector], dst: usize, src: usize) {
+    let n = regs[src].len() as u64;
+    let d = &mut regs[dst];
+    d.clear();
+    d.extend(0..n);
+}
+
+/// `Vdst ← σ(Vsrc)`, sequentially (in-place `retain` when aliased).
+pub(crate) fn exec_select(regs: &mut [Vector], dst: usize, src: usize) {
+    if dst == src {
+        regs[dst].retain(|x| *x != 0);
+    } else {
+        let mut out = std::mem::take(&mut regs[dst]);
+        out.clear();
+        out.extend(regs[src].iter().copied().filter(|x| *x != 0));
+        regs[dst] = out;
+    }
 }
 
 impl Machine {
@@ -162,17 +299,43 @@ impl Machine {
     }
 
     /// Caps the number of executed instructions (guards divergence).
+    ///
+    /// The contract is inclusive: a run may execute **at most `limit`
+    /// instructions** (the final `Halt` counts as one).  A program that
+    /// halts in exactly `limit` steps succeeds; the `limit + 1`-th
+    /// instruction is never fetched and the run returns
+    /// [`MachineError::StepLimit`] instead.
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
         self
     }
 
-    /// Reads a register (for tests/debugging).
+    /// Reads a register (for tests/debugging of machine state *between*
+    /// runs).
+    ///
+    /// The in-place execution engine consumes register contents: after a
+    /// successful run the output registers have been moved into the
+    /// returned [`RunOutcome`] (and read back empty here), and after a
+    /// faulting run the faulting destination may hold partial state.
+    /// The next `run`/`run_owned` resets every register.
     pub fn reg(&self, r: Reg) -> &Vector {
         &self.regs[r as usize]
     }
 
-    /// Runs a program on the given inputs.
+    /// Resizes and clears the register file (capacity is retained, so a
+    /// reused machine does not reallocate).
+    fn prepare(&mut self, prog: &Program) {
+        if self.regs.len() < prog.n_regs {
+            self.regs.resize(prog.n_regs, Vec::new());
+        }
+        for r in self.regs.iter_mut() {
+            r.clear();
+        }
+    }
+
+    /// Runs a program on borrowed inputs (copied into the register file,
+    /// reusing its buffers).  Prefer [`Machine::run_owned`] when the
+    /// caller owns the input vectors — it skips the copy entirely.
     pub fn run(&mut self, prog: &Program, inputs: &[Vector]) -> Result<RunOutcome, MachineError> {
         if inputs.len() != prog.r_in {
             return Err(MachineError::BadInputArity {
@@ -180,16 +343,34 @@ impl Machine {
                 got: inputs.len(),
             });
         }
-        if self.regs.len() < prog.n_regs {
-            self.regs.resize(prog.n_regs, Vec::new());
-        }
-        for r in self.regs.iter_mut() {
-            r.clear();
-        }
+        self.prepare(prog);
         for (i, v) in inputs.iter().enumerate() {
-            self.regs[i] = v.clone();
+            self.regs[i].extend_from_slice(v);
         }
+        self.exec_loop(prog)
+    }
 
+    /// Runs a program taking ownership of the inputs: the vectors are
+    /// moved into the register file with no copy or allocation.
+    pub fn run_owned(
+        &mut self,
+        prog: &Program,
+        inputs: Vec<Vector>,
+    ) -> Result<RunOutcome, MachineError> {
+        if inputs.len() != prog.r_in {
+            return Err(MachineError::BadInputArity {
+                expected: prog.r_in,
+                got: inputs.len(),
+            });
+        }
+        self.prepare(prog);
+        for (i, v) in inputs.into_iter().enumerate() {
+            self.regs[i] = v;
+        }
+        self.exec_loop(prog)
+    }
+
+    fn exec_loop(&mut self, prog: &Program) -> Result<RunOutcome, MachineError> {
         let mut stats = Stats::default();
         let mut pc = 0usize;
         loop {
@@ -210,40 +391,52 @@ impl Machine {
             let mut jumped = false;
             match ins {
                 Instr::Move { dst, src } => {
-                    let v = self.regs[*src as usize].clone();
-                    self.regs[*dst as usize] = v;
+                    exec_move(&mut self.regs, *dst as usize, *src as usize);
                 }
                 Instr::Arith { dst, op, a, b } => {
-                    let (va, vb) = (&self.regs[*a as usize], &self.regs[*b as usize]);
-                    if va.len() != vb.len() {
-                        return Err(MachineError::LengthMismatch {
-                            at: pc,
-                            a: va.len(),
-                            b: vb.len(),
-                        });
+                    let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                    let (la, lb) = (self.regs[a].len(), self.regs[b].len());
+                    if la != lb {
+                        return Err(MachineError::LengthMismatch { at: pc, a: la, b: lb });
                     }
-                    let mut out = Vec::with_capacity(va.len());
-                    for (x, y) in va.iter().zip(vb) {
-                        match op.apply(*x, *y) {
-                            Some(z) => out.push(z),
-                            None => return Err(MachineError::Arithmetic { at: pc }),
+                    let fault = MachineError::Arithmetic { at: pc };
+                    if dst == a && dst == b {
+                        for x in self.regs[dst].iter_mut() {
+                            *x = op.apply(*x, *x).ok_or_else(|| fault.clone())?;
                         }
+                    } else if dst == a {
+                        let (d, vb) = reg_pair_mut(&mut self.regs, dst, b);
+                        for (x, y) in d.iter_mut().zip(vb) {
+                            *x = op.apply(*x, *y).ok_or_else(|| fault.clone())?;
+                        }
+                    } else if dst == b {
+                        let (d, va) = reg_pair_mut(&mut self.regs, dst, a);
+                        for (y, x) in d.iter_mut().zip(va) {
+                            *y = op.apply(*x, *y).ok_or_else(|| fault.clone())?;
+                        }
+                    } else {
+                        // Reuse dst's buffer for the fresh result.
+                        let mut out = std::mem::take(&mut self.regs[dst]);
+                        out.clear();
+                        out.reserve(la);
+                        for (x, y) in self.regs[a].iter().zip(&self.regs[b]) {
+                            out.push(op.apply(*x, *y).ok_or_else(|| fault.clone())?);
+                        }
+                        self.regs[dst] = out;
                     }
-                    self.regs[*dst as usize] = out;
                 }
-                Instr::Empty { dst } => self.regs[*dst as usize] = Vec::new(),
-                Instr::Singleton { dst, n } => self.regs[*dst as usize] = vec![*n],
+                Instr::Empty { dst } => self.regs[*dst as usize].clear(),
+                Instr::Singleton { dst, n } => {
+                    exec_singleton(&mut self.regs, *dst as usize, *n);
+                }
                 Instr::Append { dst, a, b } => {
-                    let mut out = self.regs[*a as usize].clone();
-                    out.extend_from_slice(&self.regs[*b as usize]);
-                    self.regs[*dst as usize] = out;
+                    exec_append(&mut self.regs, *dst as usize, *a as usize, *b as usize);
                 }
                 Instr::Length { dst, src } => {
-                    self.regs[*dst as usize] = vec![self.regs[*src as usize].len() as u64];
+                    exec_length(&mut self.regs, *dst as usize, *src as usize);
                 }
                 Instr::Enumerate { dst, src } => {
-                    let n = self.regs[*src as usize].len() as u64;
-                    self.regs[*dst as usize] = (0..n).collect();
+                    exec_enumerate(&mut self.regs, *dst as usize, *src as usize);
                 }
                 Instr::BmRoute {
                     dst,
@@ -251,13 +444,22 @@ impl Machine {
                     counts,
                     values,
                 } => {
-                    let out = bm_route(
-                        self.regs[*bound as usize].len(),
-                        &self.regs[*counts as usize],
-                        &self.regs[*values as usize],
-                    )
-                    .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
-                    self.regs[*dst as usize] = out;
+                    let (dst, bound, counts, values) =
+                        (*dst as usize, *bound as usize, *counts as usize, *values as usize);
+                    // Only the *length* of bound matters, so read it before
+                    // recycling dst's buffer (dst may alias bound).
+                    let bound_len = self.regs[bound].len();
+                    if dst == counts || dst == values {
+                        // dst aliases a data operand: route into a fresh buffer.
+                        let out = bm_route(bound_len, &self.regs[counts], &self.regs[values])
+                            .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                        self.regs[dst] = out;
+                    } else {
+                        let mut out = std::mem::take(&mut self.regs[dst]);
+                        bm_route_into(&mut out, bound_len, &self.regs[counts], &self.regs[values])
+                            .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                        self.regs[dst] = out;
+                    }
                 }
                 Instr::SbmRoute {
                     dst,
@@ -266,22 +468,38 @@ impl Machine {
                     data,
                     segs,
                 } => {
-                    let out = sbm_route(
-                        self.regs[*bound as usize].len(),
-                        &self.regs[*counts as usize],
-                        &self.regs[*data as usize],
-                        &self.regs[*segs as usize],
-                    )
-                    .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
-                    self.regs[*dst as usize] = out;
+                    let (dst, bound, counts, data, segs) = (
+                        *dst as usize,
+                        *bound as usize,
+                        *counts as usize,
+                        *data as usize,
+                        *segs as usize,
+                    );
+                    let bound_len = self.regs[bound].len();
+                    if dst == counts || dst == data || dst == segs {
+                        let out = sbm_route(
+                            bound_len,
+                            &self.regs[counts],
+                            &self.regs[data],
+                            &self.regs[segs],
+                        )
+                        .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                        self.regs[dst] = out;
+                    } else {
+                        let mut out = std::mem::take(&mut self.regs[dst]);
+                        sbm_route_into(
+                            &mut out,
+                            bound_len,
+                            &self.regs[counts],
+                            &self.regs[data],
+                            &self.regs[segs],
+                        )
+                        .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                        self.regs[dst] = out;
+                    }
                 }
                 Instr::Select { dst, src } => {
-                    let out: Vector = self.regs[*src as usize]
-                        .iter()
-                        .copied()
-                        .filter(|x| *x != 0)
-                        .collect();
-                    self.regs[*dst as usize] = out;
+                    exec_select(&mut self.regs, *dst as usize, *src as usize);
                 }
                 Instr::Goto { target } => {
                     pc = *target as usize;
@@ -295,7 +513,7 @@ impl Machine {
                 }
                 Instr::Halt => {
                     stats.work += in_work;
-                    let outputs = self.regs[..prog.r_out].to_vec();
+                    let outputs = self.regs[..prog.r_out].iter_mut().map(std::mem::take).collect();
                     return Ok(RunOutcome { outputs, stats });
                 }
             }
@@ -419,6 +637,98 @@ mod tests {
         let p = b.build();
         let err = run_program(&p, &[vec![1, 2], vec![3]]).unwrap_err();
         assert!(matches!(err, MachineError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn step_limit_boundary_is_inclusive_of_final_halt() {
+        // The documented contract: at most `limit` instructions execute,
+        // and a program halting in *exactly* `limit` steps succeeds.
+        let mut b = Builder::new(0, 1);
+        b.push(Singleton { dst: 0, n: 7 }).push(Halt);
+        let p = b.build();
+        let out = Machine::new(p.n_regs)
+            .with_step_limit(2)
+            .run(&p, &[])
+            .unwrap();
+        assert_eq!(out.stats.time, 2);
+        assert_eq!(out.outputs[0], vec![7]);
+        // One step fewer cuts the run off before the halt.
+        let err = Machine::new(p.n_regs)
+            .with_step_limit(1)
+            .run(&p, &[])
+            .unwrap_err();
+        assert_eq!(err, MachineError::StepLimit);
+    }
+
+    #[test]
+    fn aliased_operands_hit_in_place_paths_with_identical_stats() {
+        // dst == src / dst == a / dst == b aliasing takes the in-place,
+        // allocation-free paths; outputs and Stats must equal the
+        // hand-computed values of the naive semantics.
+        let mut b = Builder::new(2, 2);
+        b.push(Move { dst: 0, src: 0 }) // self-move: no-op, still costed
+            .push(Arith {
+                dst: 0,
+                op: Op::Add,
+                a: 0,
+                b: 1,
+            }) // dst == a
+            .push(Arith {
+                dst: 1,
+                op: Op::Mul,
+                a: 0,
+                b: 1,
+            }) // dst == b
+            .push(Append { dst: 0, a: 0, b: 0 }) // self-append doubles
+            .push(Select { dst: 1, src: 1 }) // in-place retain
+            .push(Halt);
+        let p = b.build();
+        let out = run_program(&p, &[vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+        assert_eq!(out.outputs[0], vec![5, 7, 9, 5, 7, 9]);
+        assert_eq!(out.outputs[1], vec![20, 35, 54]);
+        // move 6 + add 9 + mul 9 + append 12 + select 6 + halt 0
+        assert_eq!(out.stats.work, 42);
+        assert_eq!(out.stats.time, 6);
+        assert_eq!(out.stats.max_len, 6);
+    }
+
+    #[test]
+    fn append_with_dst_aliasing_b_prepends() {
+        let mut b = Builder::new(2, 2);
+        b.push(Append { dst: 1, a: 0, b: 1 }).push(Halt);
+        let p = b.build();
+        let out = run_program(&p, &[vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(out.outputs[1], vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn machine_reuse_and_run_owned_match_fresh_runs() {
+        // A reused machine (warm buffers) and `run_owned` must agree with
+        // a fresh `run` on both outputs and stats.
+        let mut b = Builder::new(1, 1);
+        b.push(Enumerate { dst: 1, src: 0 })
+            .push(Arith {
+                dst: 0,
+                op: Op::Add,
+                a: 0,
+                b: 1,
+            })
+            .push(Halt);
+        let p = b.build();
+        let i1 = vec![vec![5; 8]];
+        let i2 = vec![vec![9; 3]];
+        let fresh1 = run_program(&p, &i1).unwrap();
+        let fresh2 = run_program(&p, &i2).unwrap();
+        let mut m = Machine::new(p.n_regs);
+        let warm1 = m.run(&p, &i1).unwrap();
+        let warm2 = m.run(&p, &i2).unwrap();
+        let owned2 = m.run_owned(&p, i2.clone()).unwrap();
+        assert_eq!(fresh1.outputs, warm1.outputs);
+        assert_eq!(fresh1.stats, warm1.stats);
+        assert_eq!(fresh2.outputs, warm2.outputs);
+        assert_eq!(fresh2.stats, warm2.stats);
+        assert_eq!(fresh2.outputs, owned2.outputs);
+        assert_eq!(fresh2.stats, owned2.stats);
     }
 
     #[test]

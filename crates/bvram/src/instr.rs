@@ -233,6 +233,52 @@ impl Instr {
         }
     }
 
+    /// Rewrites every register operand (inputs and output) through `f`.
+    /// Jump targets are left untouched.
+    pub fn rename_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Instr::Move { dst, src }
+            | Instr::Length { dst, src }
+            | Instr::Enumerate { dst, src }
+            | Instr::Select { dst, src } => {
+                *dst = f(*dst);
+                *src = f(*src);
+            }
+            Instr::Arith { dst, a, b, .. } | Instr::Append { dst, a, b } => {
+                *dst = f(*dst);
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Instr::Empty { dst } | Instr::Singleton { dst, .. } => *dst = f(*dst),
+            Instr::BmRoute {
+                dst,
+                bound,
+                counts,
+                values,
+            } => {
+                *dst = f(*dst);
+                *bound = f(*bound);
+                *counts = f(*counts);
+                *values = f(*values);
+            }
+            Instr::SbmRoute {
+                dst,
+                bound,
+                counts,
+                data,
+                segs,
+            } => {
+                *dst = f(*dst);
+                *bound = f(*bound);
+                *counts = f(*counts);
+                *data = f(*data);
+                *segs = f(*segs);
+            }
+            Instr::IfEmptyGoto { reg, .. } => *reg = f(*reg),
+            Instr::Goto { .. } | Instr::Halt => {}
+        }
+    }
+
     /// The register this instruction writes, if any.
     pub fn output(&self) -> Option<Reg> {
         match self {

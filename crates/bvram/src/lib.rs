@@ -18,7 +18,9 @@
 //! [`par::ParMachine`] (rayon, bit-for-bit identical results).
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod exec;
+pub mod fuzz;
 pub mod instr;
 pub mod par;
 pub mod program;

@@ -16,6 +16,54 @@ use rayon::prelude::*;
 /// overhead dominating small vectors).
 pub const GRAIN: usize = 4096;
 
+/// `sbm_route` with the expansion parallelised over output chunks once
+/// the output reaches [`GRAIN`] elements (the same exclusive-prefix +
+/// chunk-fill strategy `bm_route` uses).  Invariants are checked in the
+/// same order as [`crate::exec::sbm_route`] so both backends report
+/// identical faults.
+fn sbm_route_par(
+    bound_len: usize,
+    counts: &[u64],
+    data: &[u64],
+    segs: &[u64],
+) -> Result<Vector, &'static str> {
+    crate::exec::validate_sbm(bound_len, counts, data, segs)?;
+    let out_len: usize = counts.iter().zip(segs).map(|(c, s)| (c * s) as usize).sum();
+    if out_len < GRAIN {
+        return crate::exec::sbm_route(bound_len, counts, data, segs);
+    }
+    // Exclusive prefix offsets into the output and into the data.
+    let mut out_offs = Vec::with_capacity(counts.len() + 1);
+    let mut data_offs = Vec::with_capacity(counts.len() + 1);
+    let (mut oacc, mut dacc) = (0u64, 0u64);
+    out_offs.push(0);
+    data_offs.push(0);
+    for (c, s) in counts.iter().zip(segs) {
+        oacc += c * s;
+        dacc += s;
+        out_offs.push(oacc);
+        data_offs.push(dacc);
+    }
+    let mut out = vec![0u64; out_len];
+    out.par_chunks_mut(GRAIN)
+        .enumerate()
+        .for_each(|(chunk_idx, chunk)| {
+            let base = (chunk_idx * GRAIN) as u64;
+            // Locate the source segment for the first slot by binary
+            // search, then walk forward.
+            let mut seg = out_offs.partition_point(|o| *o <= base).saturating_sub(1);
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let pos = base + i as u64;
+                while out_offs[seg + 1] <= pos {
+                    seg += 1;
+                }
+                let rel = pos - out_offs[seg];
+                *slot = data[(data_offs[seg] + rel % segs[seg]) as usize];
+            }
+        });
+    Ok(out)
+}
+
 /// The rayon-parallel interpreter.
 #[derive(Debug)]
 pub struct ParMachine {
@@ -33,9 +81,22 @@ impl ParMachine {
     }
 
     /// Caps the number of executed instructions.
+    ///
+    /// Same inclusive contract as [`crate::exec::Machine::with_step_limit`]:
+    /// at most `limit` instructions execute, and a program halting in
+    /// exactly `limit` steps succeeds.
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
         self
+    }
+
+    fn prepare(&mut self, prog: &Program) {
+        if self.regs.len() < prog.n_regs {
+            self.regs.resize(prog.n_regs, Vec::new());
+        }
+        for r in self.regs.iter_mut() {
+            r.clear();
+        }
     }
 
     /// Runs a program; semantics identical to the sequential machine.
@@ -46,16 +107,33 @@ impl ParMachine {
                 got: inputs.len(),
             });
         }
-        if self.regs.len() < prog.n_regs {
-            self.regs.resize(prog.n_regs, Vec::new());
-        }
-        for r in self.regs.iter_mut() {
-            r.clear();
-        }
+        self.prepare(prog);
         for (i, v) in inputs.iter().enumerate() {
-            self.regs[i] = v.clone();
+            self.regs[i].extend_from_slice(v);
         }
+        self.exec_loop(prog)
+    }
 
+    /// Runs a program taking ownership of the inputs (no copy).
+    pub fn run_owned(
+        &mut self,
+        prog: &Program,
+        inputs: Vec<Vector>,
+    ) -> Result<RunOutcome, MachineError> {
+        if inputs.len() != prog.r_in {
+            return Err(MachineError::BadInputArity {
+                expected: prog.r_in,
+                got: inputs.len(),
+            });
+        }
+        self.prepare(prog);
+        for (i, v) in inputs.into_iter().enumerate() {
+            self.regs[i] = v;
+        }
+        self.exec_loop(prog)
+    }
+
+    fn exec_loop(&mut self, prog: &Program) -> Result<RunOutcome, MachineError> {
         let mut stats = Stats::default();
         let mut pc = 0usize;
         loop {
@@ -101,12 +179,12 @@ impl ParMachine {
                     }
                 }
                 Instr::Enumerate { dst, src } => {
-                    let n = self.regs[*src as usize].len() as u64;
-                    self.regs[*dst as usize] = if n as usize >= GRAIN {
-                        (0..n).into_par_iter().collect()
+                    let n = self.regs[*src as usize].len();
+                    if n >= GRAIN {
+                        self.regs[*dst as usize] = (0..n as u64).into_par_iter().collect();
                     } else {
-                        (0..n).collect()
-                    };
+                        crate::exec::exec_enumerate(&mut self.regs, *dst as usize, *src as usize);
+                    }
                 }
                 Instr::BmRoute {
                     dst,
@@ -117,19 +195,8 @@ impl ParMachine {
                     let counts = &self.regs[*counts as usize];
                     let values = &self.regs[*values as usize];
                     let bound_len = self.regs[*bound as usize].len();
-                    if counts.len() != values.len() {
-                        return Err(MachineError::RouteInvariant {
-                            at: pc,
-                            what: "bm_route: |counts| != |values|",
-                        });
-                    }
-                    let total: u64 = counts.par_iter().sum();
-                    if total != bound_len as u64 {
-                        return Err(MachineError::RouteInvariant {
-                            at: pc,
-                            what: "bm_route: sum(counts) != |bound|",
-                        });
-                    }
+                    crate::exec::validate_bm(bound_len, counts, values)
+                        .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
                     // Parallel expansion: exclusive prefix offsets, then
                     // fill each output slot independently.
                     let out = if bound_len >= GRAIN {
@@ -165,49 +232,57 @@ impl ParMachine {
                     };
                     self.regs[*dst as usize] = out;
                 }
+                Instr::SbmRoute {
+                    dst,
+                    bound,
+                    counts,
+                    data,
+                    segs,
+                } => {
+                    let out = sbm_route_par(
+                        self.regs[*bound as usize].len(),
+                        &self.regs[*counts as usize],
+                        &self.regs[*data as usize],
+                        &self.regs[*segs as usize],
+                    )
+                    .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
+                    self.regs[*dst as usize] = out;
+                }
                 // The remaining instructions are cheap or inherently
                 // sequential control; share the scalar implementations.
                 other => {
                     match other {
                         Instr::Move { dst, src } => {
-                            let v = self.regs[*src as usize].clone();
-                            self.regs[*dst as usize] = v;
+                            crate::exec::exec_move(&mut self.regs, *dst as usize, *src as usize);
                         }
-                        Instr::Empty { dst } => self.regs[*dst as usize] = Vec::new(),
-                        Instr::Singleton { dst, n } => self.regs[*dst as usize] = vec![*n],
+                        Instr::Empty { dst } => self.regs[*dst as usize].clear(),
+                        Instr::Singleton { dst, n } => {
+                            crate::exec::exec_singleton(&mut self.regs, *dst as usize, *n);
+                        }
                         Instr::Append { dst, a, b } => {
-                            let mut out = self.regs[*a as usize].clone();
-                            out.extend_from_slice(&self.regs[*b as usize]);
-                            self.regs[*dst as usize] = out;
+                            crate::exec::exec_append(
+                                &mut self.regs,
+                                *dst as usize,
+                                *a as usize,
+                                *b as usize,
+                            );
                         }
                         Instr::Length { dst, src } => {
-                            self.regs[*dst as usize] =
-                                vec![self.regs[*src as usize].len() as u64];
-                        }
-                        Instr::SbmRoute {
-                            dst,
-                            bound,
-                            counts,
-                            data,
-                            segs,
-                        } => {
-                            let out = crate::exec::sbm_route(
-                                self.regs[*bound as usize].len(),
-                                &self.regs[*counts as usize],
-                                &self.regs[*data as usize],
-                                &self.regs[*segs as usize],
-                            )
-                            .map_err(|what| MachineError::RouteInvariant { at: pc, what })?;
-                            self.regs[*dst as usize] = out;
+                            crate::exec::exec_length(&mut self.regs, *dst as usize, *src as usize);
                         }
                         Instr::Select { dst, src } => {
                             let src_v = &self.regs[*src as usize];
-                            let out: Vector = if src_v.len() >= GRAIN {
-                                src_v.par_iter().copied().filter(|x| *x != 0).collect()
+                            if src_v.len() >= GRAIN {
+                                let out: Vector =
+                                    src_v.par_iter().copied().filter(|x| *x != 0).collect();
+                                self.regs[*dst as usize] = out;
                             } else {
-                                src_v.iter().copied().filter(|x| *x != 0).collect()
-                            };
-                            self.regs[*dst as usize] = out;
+                                crate::exec::exec_select(
+                                    &mut self.regs,
+                                    *dst as usize,
+                                    *src as usize,
+                                );
+                            }
                         }
                         Instr::Goto { target } => {
                             pc = *target as usize;
@@ -332,6 +407,80 @@ mod tests {
         let seq = crate::exec::run_program(&p, &inputs).unwrap();
         let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
         assert_eq!(seq.outputs, par.outputs);
+    }
+
+    #[test]
+    fn par_step_limit_boundary_is_inclusive_of_final_halt() {
+        let mut b = Builder::new(0, 1);
+        b.push(Singleton { dst: 0, n: 7 }).push(Halt);
+        let p = b.build();
+        let out = ParMachine::new(p.n_regs)
+            .with_step_limit(2)
+            .run(&p, &[])
+            .unwrap();
+        assert_eq!(out.stats.time, 2);
+        let err = ParMachine::new(p.n_regs)
+            .with_step_limit(1)
+            .run(&p, &[])
+            .unwrap_err();
+        assert_eq!(err, MachineError::StepLimit);
+    }
+
+    fn sbm_prog() -> Program {
+        let mut b = Builder::new(4, 1);
+        b.push(SbmRoute {
+            dst: 0,
+            bound: 0,
+            counts: 1,
+            data: 2,
+            segs: 3,
+        })
+        .push(Halt);
+        b.build()
+    }
+
+    #[test]
+    fn par_sbm_route_matches_sequential_large() {
+        let p = sbm_prog();
+        // 1000 segments of 3 elements, each replicated twice: out 6000 > GRAIN.
+        let k = 1000u64;
+        let counts = vec![2u64; k as usize];
+        let segs = vec![3u64; k as usize];
+        let data: Vec<u64> = (0..3 * k).collect();
+        let bound = vec![0u64; 2 * k as usize];
+        let inputs = vec![bound, counts, data, segs];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn par_sbm_route_uneven_segments_and_zero_counts() {
+        let p = sbm_prog();
+        let k = 3000u64;
+        let counts: Vec<u64> = (0..k).map(|i| i % 3).collect();
+        let segs: Vec<u64> = (0..k).map(|i| (i * 7) % 5).collect();
+        let total_c: u64 = counts.iter().sum();
+        let total_s: u64 = segs.iter().sum();
+        let data: Vec<u64> = (0..total_s).map(|i| i * 13).collect();
+        let bound = vec![0u64; total_c as usize];
+        let inputs = vec![bound, counts, data, segs];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn par_sbm_route_invariant_faults_match_sequential() {
+        let p = sbm_prog();
+        // sum(segs) != |data|
+        let inputs = vec![vec![0; 2], vec![2], vec![1, 2, 3], vec![2]];
+        let seq = crate::exec::run_program(&p, &inputs).unwrap_err();
+        let par = ParMachine::new(p.n_regs).run(&p, &inputs).unwrap_err();
+        assert_eq!(seq, par);
+        assert!(matches!(seq, MachineError::RouteInvariant { .. }));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! EXP-OPTBENCH: wall-clock effect of the BVRAM optimizer — the compiled
+//! suite executed with the pass pipeline off (`O0`) and on (`O1`).  The
+//! `(T', W')` cuts are measured exactly by `exp_opt`; this bench shows
+//! they translate into real interpreter time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsc_compile::{compile_nsc_with, run_compiled, OptLevel};
+use nsc_core::ast as a;
+use nsc_core::value::Value;
+use nsc_core::Type;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let workloads: Vec<(&str, nsc_core::Func)> = vec![
+        (
+            "map_sq",
+            a::map(a::lam(
+                "x",
+                a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+            )),
+        ),
+        (
+            "sum",
+            a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x"))),
+        ),
+    ];
+    let dom = Type::seq(Type::Nat);
+    let mut g = c.benchmark_group("optimizer_ablation");
+    for (name, f) in workloads {
+        let c0 = compile_nsc_with(&f, &dom, OptLevel::O0).unwrap();
+        let c1 = compile_nsc_with(&f, &dom, OptLevel::O1).unwrap();
+        for n in [1u64 << 8, 1 << 12] {
+            let arg = Value::nat_seq(0..n);
+            g.bench_with_input(BenchmarkId::new(format!("{name}_O0"), n), &arg, |b, arg| {
+                b.iter(|| run_compiled(&c0, arg).unwrap());
+            });
+            g.bench_with_input(BenchmarkId::new(format!("{name}_O1"), n), &arg, |b, arg| {
+                b.iter(|| run_compiled(&c1, arg).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200)); targets = bench_optimizer}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Harness binary for EXP-OPT (the optimizer on/off ablation).
+fn main() {
+    nsc_bench::exp_opt();
+}

@@ -107,13 +107,10 @@ pub fn exp_t42() {
     }
 }
 
-/// EXP-T71 — Theorem 7.1: the full NSC → BVRAM compilation agrees with the
-/// source semantics, keeps `T' = O(T)`, and its register count is fixed.
-pub fn exp_t71() {
-    println!("\n## EXP-T71: Theorem 7.1 (compilation to the BVRAM)\n");
-    println!("claim: outputs agree; T' = O(T); registers independent of input\n");
+/// The shared EXP-T71 / EXP-OPT workload suite over `[N]`.
+fn t71_suite() -> Vec<(&'static str, nsc_core::Func)> {
     use nsc_core::ast as a;
-    let suite: Vec<(&str, nsc_core::Func)> = vec![
+    vec![
         (
             "map(x*x+1)",
             a::map(a::lam(
@@ -126,34 +123,115 @@ pub fn exp_t71() {
             a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x"))),
         ),
         (
+            "prefix-sum",
+            a::lam("x", nsc_core::stdlib::numeric::prefix_sum(a::var("x"))),
+        ),
+        (
             "map(while halve)",
             a::map(a::while_(
                 a::lam("x", a::lt(a::nat(0), a::var("x"))),
                 a::lam("x", a::rshift(a::var("x"), a::nat(1))),
             )),
         ),
-    ];
-    header(&["program", "n", "T", "T'", "T'/T", "W", "W'", "regs"]);
-    for (name, f) in suite {
+    ]
+}
+
+/// EXP-T71 — Theorem 7.1: the full NSC → BVRAM compilation agrees with the
+/// source semantics, keeps `T' = O(T)`, and its register count is fixed.
+/// The optimizer ablation columns report the unoptimized (`·₀`) next to
+/// the default-optimized (`·₁`) target costs.
+pub fn exp_t71() {
+    println!("\n## EXP-T71: Theorem 7.1 (compilation to the BVRAM)\n");
+    println!("claim: outputs agree; T' = O(T); registers independent of input");
+    println!("(T'0/W'0 = unoptimized, T'1/W'1 = default optimizer)\n");
+    use nsc_compile::OptLevel;
+    header(&["program", "n", "T", "T'0", "T'1", "T'1/T", "W", "W'0", "W'1", "regs"]);
+    for (name, f) in t71_suite() {
         let dom = Type::seq(Type::Nat);
+        let c0 = nsc_compile::compile_nsc_with(&f, &dom, OptLevel::O0).unwrap();
         let c = nsc_compile::compile_nsc(&f, &dom).unwrap();
         for n in [32u64, 128, 512] {
             let arg = Value::nat_seq(0..n);
             let (want, src) = nsc_core::eval::apply_func(&f, arg.clone()).unwrap();
+            let (got0, tgt0) = nsc_compile::run_compiled(&c0, &arg).unwrap();
             let (got, tgt) = nsc_compile::run_compiled(&c, &arg).unwrap();
             assert_eq!(got, want, "{name} disagrees at n={n}");
+            assert_eq!(got0, want, "{name} (O0) disagrees at n={n}");
             row(&[
                 name.to_string(),
                 n.to_string(),
                 src.time.to_string(),
+                tgt0.time.to_string(),
                 tgt.time.to_string(),
                 format!("{:.2}", tgt.time as f64 / src.time as f64),
                 src.work.to_string(),
+                tgt0.work.to_string(),
                 tgt.work.to_string(),
                 c.program.n_regs.to_string(),
             ]);
         }
     }
+}
+
+/// EXP-OPT — the optimizer ablation (the bvram::opt acceptance gate):
+/// for every workload, optimized output is bit-identical, `T'`/`W'` are
+/// never worse, and at least one workload shows a ≥ 15% `W'` cut.
+pub fn exp_opt() {
+    println!("\n## EXP-OPT: BVRAM optimizer ablation (O0 vs O1)\n");
+    println!("claim: bit-identical outputs; T'/W' never worse; >= 15% W' cut somewhere\n");
+    use nsc_compile::OptLevel;
+    header(&[
+        "program",
+        "n",
+        "T'0",
+        "T'1",
+        "T' cut",
+        "W'0",
+        "W'1",
+        "W' cut",
+        "instrs 0/1",
+        "regs 0/1",
+    ]);
+    let mut best_w_cut = f64::MIN;
+    for (name, f) in t71_suite() {
+        let dom = Type::seq(Type::Nat);
+        let c0 = nsc_compile::compile_nsc_with(&f, &dom, OptLevel::O0).unwrap();
+        let c1 = nsc_compile::compile_nsc_with(&f, &dom, OptLevel::O1).unwrap();
+        assert!(
+            c1.program.n_regs <= c0.program.n_regs,
+            "{name}: optimizer grew the register file"
+        );
+        for n in [32u64, 512] {
+            let arg = Value::nat_seq(0..n);
+            let (v0, t0) = nsc_compile::run_compiled(&c0, &arg).unwrap();
+            let (v1, t1) = nsc_compile::run_compiled(&c1, &arg).unwrap();
+            assert_eq!(v0, v1, "{name}: optimized output differs at n={n}");
+            assert!(
+                t1.time <= t0.time && t1.work <= t0.work,
+                "{name}: optimizer regressed cost at n={n}: {t0:?} -> {t1:?}"
+            );
+            let w_cut = 1.0 - t1.work as f64 / t0.work.max(1) as f64;
+            best_w_cut = best_w_cut.max(w_cut);
+            row(&[
+                name.to_string(),
+                n.to_string(),
+                t0.time.to_string(),
+                t1.time.to_string(),
+                format!("{:.1}%", 100.0 * (1.0 - t1.time as f64 / t0.time.max(1) as f64)),
+                t0.work.to_string(),
+                t1.work.to_string(),
+                format!("{w_cut:.1}%", w_cut = 100.0 * w_cut),
+                format!("{}/{}", c0.program.instrs.len(), c1.program.instrs.len()),
+                format!("{}/{}", c0.program.n_regs, c1.program.n_regs),
+            ]);
+        }
+    }
+    println!("\nbest W' cut: {:.1}%", 100.0 * best_w_cut);
+    assert!(
+        best_w_cut >= 0.15,
+        "optimizer must cut W' by >= 15% on at least one workload (best {:.1}%)",
+        100.0 * best_w_cut
+    );
 }
 
 /// EXP-P21 — Proposition 2.1: each BVRAM instruction class runs in
@@ -396,6 +474,7 @@ pub fn run_all() {
     exp_fig123();
     exp_t42();
     exp_t71();
+    exp_opt();
     exp_p21();
     exp_p32();
     exp_p62();

@@ -10,7 +10,9 @@
 
 pub mod codegen;
 pub mod layout;
+pub mod opt;
 pub mod pipeline;
 
 pub use codegen::compile_sa;
-pub use pipeline::{compile_nsc, differential, run_compiled, Compiled};
+pub use opt::{optimize, OptLevel};
+pub use pipeline::{compile_nsc, compile_nsc_with, differential, run_compiled, Compiled};

@@ -1,0 +1,114 @@
+//! Global dead-instruction elimination.
+//!
+//! An instruction is removed when its result register is never read
+//! anywhere in the program (and is not an output register) **and** the
+//! instruction can never fault.  Fault-capable instructions (`Arith`,
+//! `bm_route`, `sbm_route`) are kept even when dead: the code generator
+//! compiles `Ω` to a deliberate division fault into a dead register, and
+//! a latent invariant violation is part of a program's observable
+//! behavior.
+//!
+//! Deadness is tracked by reference counting with a worklist, so chains
+//! of dead definitions collapse in one linear-time pass — compiled
+//! programs reach tens of thousands of instructions (one fresh register
+//! per temporary), which rules out a dense per-instruction liveness
+//! fixpoint here.
+
+use super::remove_marked;
+use bvram::analysis::can_fault;
+use bvram::Program;
+
+/// Removes dead infallible instructions until none remain.  Returns
+/// `true` if anything was removed.
+pub fn eliminate_dead(prog: &mut Program) -> bool {
+    let n = prog.instrs.len();
+    let mut uses = vec![0usize; prog.n_regs];
+    let mut defs: Vec<Vec<usize>> = vec![Vec::new(); prog.n_regs];
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        for r in ins.inputs() {
+            uses[r as usize] += 1;
+        }
+        if let Some(d) = ins.output() {
+            defs[d as usize].push(i);
+        }
+    }
+    let mut deleted = vec![false; n];
+    let mut worklist: Vec<usize> = (prog.r_out..prog.n_regs).filter(|r| uses[*r] == 0).collect();
+    while let Some(r) = worklist.pop() {
+        for &i in &defs[r] {
+            if deleted[i] || can_fault(&prog.instrs[i]) {
+                continue;
+            }
+            deleted[i] = true;
+            for u in prog.instrs[i].inputs() {
+                let u = u as usize;
+                uses[u] -= 1;
+                if uses[u] == 0 && u >= prog.r_out {
+                    worklist.push(u);
+                }
+            }
+        }
+    }
+    remove_marked(prog, &deleted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvram::{Builder, Instr::*, Op};
+
+    #[test]
+    fn cascading_dead_defs_all_die() {
+        // v1 feeds v2 feeds v3; none reach the output.
+        let mut b = Builder::new(1, 1);
+        b.push(Length { dst: 1, src: 0 })
+            .push(Enumerate { dst: 2, src: 1 })
+            .push(Select { dst: 3, src: 2 })
+            .push(Halt);
+        let mut p = b.build();
+        assert!(eliminate_dead(&mut p));
+        assert_eq!(p.instrs.len(), 1);
+    }
+
+    #[test]
+    fn dead_but_fallible_survives() {
+        let mut b = Builder::new(2, 1);
+        b.push(Arith {
+            dst: 2,
+            op: Op::Add,
+            a: 0,
+            b: 1,
+        })
+        .push(Halt);
+        let mut p = b.build();
+        assert!(!eliminate_dead(&mut p));
+        assert_eq!(p.instrs.len(), 2);
+    }
+
+    #[test]
+    fn live_through_loop_survives() {
+        let mut b = Builder::new(1, 1);
+        b.label("l")
+            .if_empty_goto(0, "d")
+            .push(Enumerate { dst: 1, src: 0 })
+            .push(Select { dst: 0, src: 1 })
+            .goto("l")
+            .label("d")
+            .push(Halt);
+        let mut p = b.build();
+        assert!(!eliminate_dead(&mut p));
+        assert_eq!(p.instrs.len(), 5);
+    }
+
+    #[test]
+    fn output_registers_are_roots() {
+        let mut b = Builder::new(0, 2);
+        b.push(Singleton { dst: 0, n: 1 })
+            .push(Singleton { dst: 1, n: 2 })
+            .push(Singleton { dst: 2, n: 3 }) // dead: beyond r_out, unread
+            .push(Halt);
+        let mut p = b.build();
+        assert!(eliminate_dead(&mut p));
+        assert_eq!(p.instrs.len(), 3);
+    }
+}

@@ -1,0 +1,316 @@
+//! A post-lowering optimizer for compiled BVRAM programs.
+//!
+//! Theorem 7.1 guarantees the compilation preserves *asymptotic* `(T, W)`;
+//! this module attacks the constant factors.  The code generator emits
+//! naive straight-line blocks — staging `Move` chains, one fresh register
+//! per temporary, recomputed `Length`s — and a handful of classic
+//! dataflow passes over the flat IR recovers most of the slack (cf. the
+//! post-flattening optimizations of Hielscher's data-parallel locality
+//! work and the rewrite-driven lowerings of Rasch's MDH line):
+//!
+//! * [`local`] — per-block copy propagation and local value numbering
+//!   (`Length`/`Enumerate`/arith/route CSE);
+//! * [`jumps`] — jump threading (`goto`-to-`goto` collapse), fallthrough
+//!   `goto` removal, unreachable-code elimination;
+//! * [`dce`] — global liveness-based dead-instruction elimination
+//!   (removing only instructions that can never fault, so a deliberate
+//!   `Ω`-fault or a latent route violation is *never* optimized away);
+//! * [`coalesce`] — move coalescing: merging the live ranges of
+//!   move-related registers so staging and loop-carried `Move`s vanish;
+//! * register compaction, shrinking `n_regs` to the registers actually
+//!   used.
+//!
+//! Every pass preserves semantics *exactly*: optimized programs produce
+//! bit-identical outputs (and identical machine errors) on every input,
+//! and never cost more — `T′` and `W′` are non-increasing under every
+//! pass.  The only observable difference is through
+//! [`bvram::Machine::with_step_limit`]: a run that previously exceeded a
+//! step budget may now fit inside it.
+
+pub mod coalesce;
+pub mod dce;
+pub mod jumps;
+pub mod local;
+
+use bvram::{Instr, Program};
+
+/// How hard [`optimize`] works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No optimization: the program exactly as the code generator emitted
+    /// it (useful as a differential baseline).
+    O0,
+    /// The full pass pipeline (the default).
+    #[default]
+    O1,
+}
+
+/// Maximum pass-pipeline rounds before giving up on reaching a fixpoint
+/// (each round strictly shrinks the program or leaves it unchanged, so
+/// this is a defensive bound, not a tuning knob).
+const MAX_ROUNDS: usize = 8;
+
+/// Optimizes a compiled BVRAM program.  Semantics-preserving and
+/// cost-non-increasing; see the module docs for the pass list.  Takes
+/// the program by value (compiled programs reach millions of
+/// instructions; callers holding a borrow can clone at the call site).
+pub fn optimize(prog: Program, level: OptLevel) -> Program {
+    let mut p = prog;
+    if level == OptLevel::O0 {
+        return p;
+    }
+    for round in 0..MAX_ROUNDS {
+        let before = p.instrs.len();
+        let mut changed = false;
+        changed |= local::propagate_and_number(&mut p);
+        changed |= jumps::thread_jumps(&mut p);
+        changed |= dce::eliminate_dead(&mut p);
+        changed |= coalesce::coalesce_moves(&mut p);
+        if !changed {
+            break;
+        }
+        // Rounds after the first typically shave well under a percent;
+        // stop once the shrink rate no longer pays for the pass cost.
+        if round >= 1 && before - p.instrs.len() < before / 512 {
+            break;
+        }
+    }
+    compact_registers(&mut p);
+    p
+}
+
+/// Removes the instructions flagged in `delete`, remapping jump targets.
+/// A target pointing at a deleted instruction lands on the next surviving
+/// one (deleted instructions are always no-ops or unreachable, so this
+/// preserves control flow).
+pub(crate) fn remove_marked(prog: &mut Program, delete: &[bool]) -> bool {
+    if !delete.iter().any(|d| *d) {
+        return false;
+    }
+    let n = prog.instrs.len();
+    // new_index[i] = number of surviving instructions before i, which is
+    // also the post-compaction index of the first survivor at or after i.
+    let mut new_index = vec![0u32; n + 1];
+    let mut kept = 0u32;
+    for i in 0..n {
+        new_index[i] = kept;
+        if !delete[i] {
+            kept += 1;
+        }
+    }
+    new_index[n] = kept;
+    let old = std::mem::take(&mut prog.instrs);
+    prog.instrs = old
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !delete[*i])
+        .map(|(_, mut ins)| {
+            if let Instr::Goto { target } | Instr::IfEmptyGoto { target, .. } = &mut ins {
+                *target = new_index[*target as usize];
+            }
+            ins
+        })
+        .collect();
+    true
+}
+
+/// Renumbers registers densely: positional registers (inputs and outputs,
+/// `0 .. max(r_in, r_out)`) keep their indices, everything else is packed
+/// in first-use order.  Shrinks `n_regs` to the registers actually
+/// referenced.
+pub fn compact_registers(prog: &mut Program) -> bool {
+    let fixed = prog.r_in.max(prog.r_out);
+    let mut used = vec![false; prog.n_regs];
+    for ins in &prog.instrs {
+        for r in ins.inputs() {
+            used[r as usize] = true;
+        }
+        if let Some(r) = ins.output() {
+            used[r as usize] = true;
+        }
+    }
+    let mut map = vec![u32::MAX; prog.n_regs];
+    let mut next = fixed as u32;
+    for (r, m) in map.iter_mut().enumerate() {
+        if r < fixed {
+            *m = r as u32;
+        } else if used[r] {
+            *m = next;
+            next += 1;
+        }
+    }
+    let new_n = next as usize;
+    if new_n == prog.n_regs && map.iter().enumerate().all(|(r, m)| *m == u32::MAX || *m == r as u32)
+    {
+        return false;
+    }
+    for ins in prog.instrs.iter_mut() {
+        ins.rename_regs(|r| map[r as usize]);
+    }
+    prog.n_regs = new_n;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvram::{run_program, Builder, Instr::*, Op, Vector};
+
+    /// Masks the instruction index of a fault: optimization legitimately
+    /// shifts `pc`s, but the fault kind *and payload* must be preserved.
+    pub(crate) fn mask_fault_pc(e: bvram::MachineError) -> bvram::MachineError {
+        use bvram::MachineError as ME;
+        match e {
+            ME::LengthMismatch { a, b, .. } => ME::LengthMismatch { at: 0, a, b },
+            ME::RouteInvariant { what, .. } => ME::RouteInvariant { at: 0, what },
+            ME::Arithmetic { .. } => ME::Arithmetic { at: 0 },
+            other => other,
+        }
+    }
+
+    /// Differential harness: the optimized program must agree with the
+    /// original on outputs (or fault identically, up to the shifted
+    /// instruction index) and never cost more.
+    pub(crate) fn check_optimized(prog: &Program, inputs: &[Vector]) -> Program {
+        let opt = optimize(prog.clone(), OptLevel::O1);
+        match (run_program(prog, inputs), run_program(&opt, inputs)) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.outputs, b.outputs, "optimizer changed outputs\n{prog}\n{opt}");
+                assert!(
+                    b.stats.time <= a.stats.time && b.stats.work <= a.stats.work,
+                    "optimizer made the program costlier: {:?} -> {:?}\n{prog}\n{opt}",
+                    a.stats,
+                    b.stats
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    mask_fault_pc(a),
+                    mask_fault_pc(b),
+                    "optimizer changed the fault\n{prog}\n{opt}"
+                );
+            }
+            (a, b) => panic!("optimizer changed fault behavior: {a:?} vs {b:?}\n{prog}\n{opt}"),
+        }
+        opt
+    }
+
+    #[test]
+    fn staging_move_chains_collapse() {
+        // t <- length v0 ; u <- t ; v0 <- u ; halt   ==>   v0 <- length v0
+        let mut b = Builder::new(1, 1);
+        b.push(Length { dst: 5, src: 0 })
+            .push(Move { dst: 6, src: 5 })
+            .push(Move { dst: 0, src: 6 })
+            .push(Halt);
+        let p = b.build();
+        let opt = check_optimized(&p, &[vec![1, 2, 3]]);
+        assert_eq!(opt.instrs.len(), 2, "{opt}");
+        assert!(opt.n_regs <= 2, "registers should compact: {}", opt.n_regs);
+    }
+
+    #[test]
+    fn duplicate_lengths_are_numbered_away() {
+        let mut b = Builder::new(1, 2);
+        b.push(Length { dst: 2, src: 0 })
+            .push(Length { dst: 3, src: 0 })
+            .push(Move { dst: 0, src: 2 })
+            .push(Move { dst: 1, src: 3 })
+            .push(Halt);
+        let p = b.build();
+        let opt = check_optimized(&p, &[vec![9; 7]]);
+        // One length feeds both outputs; the second is dead and removed.
+        let lengths = opt.instrs.iter().filter(|i| matches!(i, Length { .. })).count();
+        assert_eq!(lengths, 1, "{opt}");
+    }
+
+    #[test]
+    fn omega_fault_is_never_optimized_away() {
+        // The deliberate division fault writes a dead register; DCE must
+        // keep it because it faults.
+        let mut b = Builder::new(0, 1);
+        b.push(Singleton { dst: 1, n: 1 })
+            .push(Singleton { dst: 2, n: 0 })
+            .push(Arith {
+                dst: 3,
+                op: Op::Div,
+                a: 1,
+                b: 2,
+            })
+            .push(Empty { dst: 0 })
+            .push(Halt);
+        let p = b.build();
+        check_optimized(&p, &[]);
+        let opt = optimize(p.clone(), OptLevel::O1);
+        assert!(
+            opt.instrs.iter().any(|i| matches!(i, Arith { op: Op::Div, .. })),
+            "fault-capable instruction must survive: {opt}"
+        );
+    }
+
+    #[test]
+    fn goto_chains_thread_and_unreachable_code_dies() {
+        let mut b = Builder::new(1, 1);
+        b.goto("a")
+            .push(Singleton { dst: 0, n: 99 }) // unreachable
+            .label("a")
+            .goto("b")
+            .push(Singleton { dst: 0, n: 98 }) // unreachable
+            .label("b")
+            .push(Halt);
+        let p = b.build();
+        let opt = check_optimized(&p, &[vec![5]]);
+        assert!(
+            opt.instrs.iter().all(|i| !matches!(i, Singleton { .. })),
+            "unreachable code should die: {opt}"
+        );
+        assert!(opt.instrs.len() <= 2, "{opt}");
+    }
+
+    #[test]
+    fn loop_carried_move_coalesces() {
+        // while v0 nonempty: v1 <- enumerate v0 ; v2 <- select v1 ; v0 <- v2
+        // The v0 <- v2 move coalesces into select writing v0 directly.
+        let mut b = Builder::new(1, 1);
+        b.label("loop")
+            .if_empty_goto(0, "done")
+            .push(Enumerate { dst: 1, src: 0 })
+            .push(Select { dst: 2, src: 1 })
+            .push(Move { dst: 0, src: 2 })
+            .goto("loop")
+            .label("done")
+            .push(Halt);
+        let p = b.build();
+        let opt = check_optimized(&p, &[vec![7; 6]]);
+        assert!(
+            opt.instrs.iter().all(|i| !matches!(i, Move { .. })),
+            "loop-carried move should coalesce: {opt}"
+        );
+    }
+
+    #[test]
+    fn jump_target_one_past_the_end_is_tolerated() {
+        // A trailing label makes a conditional jump target one past the
+        // end — a legal program that faults FellOffEnd when the branch is
+        // taken.  The optimizer must neither panic nor change either
+        // behavior (regression: coalesce indexed block_of[n]).
+        let mut b = Builder::new(1, 2);
+        b.push(Move { dst: 1, src: 0 })
+            .if_empty_goto(0, "off")
+            .push(Halt)
+            .label("off");
+        let p = b.build();
+        check_optimized(&p, &[vec![4, 5]]); // halts normally
+        check_optimized(&p, &[vec![]]); // branch taken: falls off the end
+    }
+
+    #[test]
+    fn o0_is_identity() {
+        let mut b = Builder::new(1, 1);
+        b.push(Move { dst: 3, src: 0 }).push(Move { dst: 0, src: 3 }).push(Halt);
+        let p = b.build();
+        let same = optimize(p.clone(), OptLevel::O0);
+        assert_eq!(same.instrs, p.instrs);
+        assert_eq!(same.n_regs, p.n_regs);
+    }
+}

@@ -13,7 +13,8 @@
 
 use crate::codegen::compile_sa;
 use crate::layout::{regs_to_value, value_to_regs};
-use bvram::{Machine, Program};
+use crate::opt::{optimize, OptLevel};
+use bvram::{Machine, MachineError, Program};
 use nsc_algebra::nsa::from_nsc::func_to_nsa;
 use nsc_algebra::sa::flatten::{compile, compile_type, decode, encode};
 use nsc_core::cost::Cost;
@@ -33,17 +34,41 @@ pub struct Compiled {
     pub cod: Type,
 }
 
-/// Compiles a closed NSC function `f : dom → cod` down to the BVRAM.
+/// Compiles a closed NSC function `f : dom → cod` down to the BVRAM at
+/// the default optimization level ([`OptLevel::O1`]).
 pub fn compile_nsc(f: &Func, dom: &Type) -> Result<Compiled, E> {
+    compile_nsc_with(f, dom, OptLevel::default())
+}
+
+/// Compiles a closed NSC function `f : dom → cod` down to the BVRAM,
+/// running the [`crate::opt`] pass pipeline at the requested level.
+pub fn compile_nsc_with(f: &Func, dom: &Type, level: OptLevel) -> Result<Compiled, E> {
     let nsa = func_to_nsa(f).map_err(|_| E::Stuck("NSC -> NSA translation failed"))?;
     let (sa, cod) = compile(&nsa, dom)?;
     let (program, sa_cod) = compile_sa(&sa, &compile_type(dom))?;
     debug_assert_eq!(sa_cod, compile_type(&cod));
+    let program = optimize(program, level);
     Ok(Compiled {
         program,
         dom: dom.clone(),
         cod,
     })
+}
+
+/// Maps a machine error onto the NSC-level error semantics.
+///
+/// Only two machine faults correspond to source-level behavior: an
+/// arithmetic fault is how the code generator models `Ω` (and division by
+/// zero), and a step-limit trip is the divergence guard.  Everything else
+/// — routing invariant violations, length mismatches, bad arity, falling
+/// off the end — means the *compiler* emitted bad code and is reported as
+/// [`E::MachineFault`] so it can never masquerade as legitimate
+/// nontermination.
+fn machine_error_to_eval(e: MachineError) -> E {
+    match e {
+        MachineError::Arithmetic { .. } | MachineError::StepLimit => E::Omega,
+        other => E::MachineFault(other.to_string()),
+    }
 }
 
 /// Runs a compiled program on an NSC value; returns the decoded NSC result
@@ -52,8 +77,8 @@ pub fn run_compiled(c: &Compiled, arg: &Value) -> Result<(Value, Cost), E> {
     let enc = encode(arg, &c.dom)?;
     let regs = value_to_regs(&enc, &compile_type(&c.dom))?;
     let out = Machine::new(c.program.n_regs)
-        .run(&c.program, &regs)
-        .map_err(|_| E::Omega)?;
+        .run_owned(&c.program, regs)
+        .map_err(machine_error_to_eval)?;
     let flat = regs_to_value(&out.outputs, &compile_type(&c.cod))?;
     let val = decode(&flat, &c.cod)?;
     Ok((val, Cost::new(out.stats.time, out.stats.work)))
@@ -151,6 +176,104 @@ mod tests {
         assert!(run_compiled(&c, &Value::nat_seq([1, 2])).is_err());
         let (v, _) = run_compiled(&c, &Value::nat_seq([7])).unwrap();
         assert_eq!(v, Value::nat(7));
+    }
+
+    #[test]
+    fn compiler_bugs_are_not_reported_as_omega() {
+        // A deliberately broken program: a bm_route whose counts cannot
+        // sum to the bound length.  A compiler emitting this has a bug,
+        // and run_compiled must say so instead of claiming divergence.
+        use bvram::{Builder, Instr};
+        let good = compile_nsc(
+            &a::map(a::lam("x", a::add(a::var("x"), a::nat(1)))),
+            &Type::seq(Type::Nat),
+        )
+        .unwrap();
+        let mut b = Builder::new(1, 1);
+        b.push(Instr::Singleton { dst: 1, n: 99 })
+            .push(Instr::BmRoute {
+                dst: 0,
+                bound: 0,
+                counts: 1,
+                values: 1,
+            })
+            .push(Instr::Halt);
+        let broken = Compiled {
+            program: b.build(),
+            dom: good.dom.clone(),
+            cod: good.cod.clone(),
+        };
+        let err = run_compiled(&broken, &Value::nat_seq([1, 2, 3])).unwrap_err();
+        assert!(
+            matches!(err, E::MachineFault(_)),
+            "a route-invariant violation is a compiler bug, not Omega: got {err:?}"
+        );
+        assert_ne!(err, E::Omega);
+    }
+
+    #[test]
+    fn omega_still_reports_as_omega() {
+        // The deliberate division fault modelling Ω must keep mapping to
+        // E::Omega (it is genuine source-level error semantics).
+        let f = a::lam("x", a::get(a::var("x")));
+        let c = compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+        let err = run_compiled(&c, &Value::nat_seq([1, 2])).unwrap_err();
+        assert_eq!(err, E::Omega);
+    }
+
+    #[test]
+    fn optimizer_is_semantics_preserving_and_profitable() {
+        // For each end-to-end program: O0 and O1 agree bit-for-bit on the
+        // decoded value, and O1 never costs more in T' or W'.
+        let suite: Vec<(&str, nsc_core::Func)> = vec![
+            (
+                "square+1",
+                a::map(a::lam("x", a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)))),
+            ),
+            (
+                "tree-sum",
+                a::lam("x", stdlib::numeric::sum_seq(a::var("x"))),
+            ),
+            (
+                "prefix-sum",
+                a::lam("x", stdlib::numeric::prefix_sum(a::var("x"))),
+            ),
+            (
+                "halve-all",
+                a::map(a::while_(
+                    a::lam("x", a::lt(a::nat(0), a::var("x"))),
+                    a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+                )),
+            ),
+            ("flatten", a::lam("x", a::flatten(a::var("x")))),
+        ];
+        for (name, f) in suite {
+            let dom = if name == "flatten" {
+                Type::seq(Type::seq(Type::Nat))
+            } else {
+                Type::seq(Type::Nat)
+            };
+            let c0 = compile_nsc_with(&f, &dom, OptLevel::O0).expect(name);
+            let c1 = compile_nsc_with(&f, &dom, OptLevel::O1).expect(name);
+            assert!(
+                c1.program.n_regs <= c0.program.n_regs,
+                "{name}: registers grew"
+            );
+            for n in [0u64, 1, 5, 32] {
+                let arg = if name == "flatten" {
+                    Value::seq((0..n).map(|i| Value::nat_seq(0..i % 4)).collect())
+                } else {
+                    Value::nat_seq((0..n).map(|i| (i * 7) % 23))
+                };
+                let (v0, t0) = run_compiled(&c0, &arg).expect(name);
+                let (v1, t1) = run_compiled(&c1, &arg).expect(name);
+                assert_eq!(v0, v1, "{name} at n={n}: optimized output differs");
+                assert!(
+                    t1.time <= t0.time && t1.work <= t0.work,
+                    "{name} at n={n}: optimizer regressed cost {t0:?} -> {t1:?}"
+                );
+            }
+        }
     }
 
     #[test]

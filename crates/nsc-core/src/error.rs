@@ -83,6 +83,12 @@ pub enum EvalError {
     Stuck(&'static str),
     /// The evaluator ran out of fuel (guards non-terminating `while`s in tests).
     FuelExhausted,
+    /// A compiled BVRAM program faulted in a way that does **not**
+    /// correspond to source-level `Ω` (routing invariant violation, length
+    /// mismatch, bad arity, falling off the end): the compiler emitted bad
+    /// code.  Kept distinct from [`EvalError::Omega`] so compiler bugs are
+    /// never mistaken for legitimate nontermination.
+    MachineFault(String),
 }
 
 impl fmt::Display for EvalError {
@@ -104,6 +110,9 @@ impl fmt::Display for EvalError {
             EvalError::DivisionByZero => write!(f, "division by zero"),
             EvalError::Stuck(what) => write!(f, "stuck evaluating {what}"),
             EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+            EvalError::MachineFault(what) => {
+                write!(f, "compiled program faulted (compiler bug): {what}")
+            }
         }
     }
 }

@@ -24,6 +24,37 @@ fn whole_pipeline_agrees_on_suite() {
 }
 
 #[test]
+fn optimizer_differential_on_suite() {
+    // For every suite program: the O0 and O1 compilations produce
+    // bit-identical machine-level outputs, O1 never costs more in T'/W',
+    // and its register file is no larger.
+    use nsc::compile::OptLevel;
+    let dom = Type::seq(Type::Nat);
+    for (name, f) in suite() {
+        let c0 = nsc::compile::compile_nsc_with(&f, &dom, OptLevel::O0).expect(name);
+        let c1 = nsc::compile::compile_nsc_with(&f, &dom, OptLevel::O1).expect(name);
+        assert!(
+            c1.program.n_regs <= c0.program.n_regs,
+            "{name}: optimizer grew the register file"
+        );
+        assert!(
+            c1.program.instrs.len() <= c0.program.instrs.len(),
+            "{name}: optimizer grew the program"
+        );
+        for n in [0u64, 1, 7, 33] {
+            let arg = Value::nat_seq((0..n).map(|i| (i * 31) % 17));
+            let (v0, t0) = nsc::compile::run_compiled(&c0, &arg).expect(name);
+            let (v1, t1) = nsc::compile::run_compiled(&c1, &arg).expect(name);
+            assert_eq!(v0, v1, "{name} at n={n}: optimized output differs");
+            assert!(
+                t1.time <= t0.time && t1.work <= t0.work,
+                "{name} at n={n}: optimizer regressed cost {t0:?} -> {t1:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn maprec_to_machine_grand_tour() {
     // map-recursion -> Theorem 4.2 -> Theorem 7.1 -> BVRAM execution.
     use nsc::core::maprec::fixtures::{range, range_sum};

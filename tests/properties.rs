@@ -155,6 +155,52 @@ proptest! {
         prop_assert_eq!(seq.stats, par.stats);
     }
 
+    /// The BVRAM optimizer preserves exact semantics on arbitrary random
+    /// straight-line programs: identical outputs (or an identical fault,
+    /// up to the shifted instruction index) and never-worse `T'`/`W'`.
+    #[test]
+    fn prop_optimizer_preserves_straightline_semantics(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..50),
+        a in proptest::collection::vec(0u64..50, 0..40),
+        b in proptest::collection::vec(0u64..50, 0..40),
+        c in proptest::collection::vec(0u64..5, 0..6),
+    ) {
+        use nsc::compile::{optimize, OptLevel};
+        use nsc::machine::MachineError as ME;
+        // Optimization moves instructions, so fault indices legitimately
+        // shift; everything else about the fault must be identical.
+        fn mask_pc(e: ME) -> ME {
+            match e {
+                ME::LengthMismatch { a, b, .. } => ME::LengthMismatch { at: 0, a, b },
+                ME::RouteInvariant { what, .. } => ME::RouteInvariant { at: 0, what },
+                ME::Arithmetic { .. } => ME::Arithmetic { at: 0 },
+                other => other,
+            }
+        }
+        // Two output registers so dead code exists for the optimizer.
+        let prog = nsc::machine::fuzz::decode_program(&words, [a.len(), b.len(), c.len()], 2);
+        let opt = optimize(prog.clone(), OptLevel::O1);
+        prop_assert!(opt.n_regs <= prog.n_regs);
+        let inputs = vec![a, b, c];
+        let r0 = nsc::machine::run_program(&prog, &inputs);
+        let r1 = nsc::machine::run_program(&opt, &inputs);
+        match (r0, r1) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x.outputs, &y.outputs, "optimizer changed outputs\n{}\n{}", prog, opt);
+                prop_assert!(
+                    y.stats.time <= x.stats.time && y.stats.work <= x.stats.work,
+                    "optimizer made the program costlier: {:?} -> {:?}\n{}\n{}",
+                    x.stats, y.stats, prog, opt
+                );
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(
+                mask_pc(x), mask_pc(y),
+                "fault changed\n{}\n{}", prog, opt
+            ),
+            (x, y) => prop_assert!(false, "fault behavior changed: {:?} vs {:?}\n{}\n{}", x, y, prog, opt),
+        }
+    }
+
     /// NSC evaluator and NSA translation agree on stdlib pipelines over
     /// random data (Proposition C.1 on values).
     #[test]

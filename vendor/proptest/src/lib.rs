@@ -256,6 +256,21 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
 }
 
 /// Fails the current property case if the two values are equal.
