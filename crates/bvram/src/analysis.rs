@@ -242,7 +242,7 @@ mod tests {
             .goto("loop")
             .label("done")
             .push(Halt);
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]
@@ -278,7 +278,7 @@ mod tests {
     fn dead_register_is_dead() {
         let mut b = Builder::new(1, 1);
         b.push(Length { dst: 5, src: 0 }).push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let l = Liveness::of(&p);
         assert!(!l.live_out[0].contains(5), "v5 is never read");
         assert!(l.live_out[0].contains(0), "v0 is the output");
@@ -291,7 +291,7 @@ mod tests {
             .push(Singleton { dst: 0, n: 1 })
             .label("end")
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         assert_eq!(reachable(&p), vec![true, false, true]);
     }
 

@@ -579,7 +579,7 @@ mod tests {
     fn select_packs_nonzero() {
         let mut b = Builder::new(1, 1);
         b.push(Select { dst: 0, src: 0 }).push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = run_program(&p, &[vec![3, 0, 1, 0, 0, 4]]).unwrap();
         assert_eq!(out.outputs[0], vec![3, 1, 4]);
     }
@@ -599,7 +599,7 @@ mod tests {
             .goto("loop")
             .label("done")
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = run_program(&p, &[vec![7; 5]]).unwrap();
         assert!(out.outputs[0].is_empty());
         // 5 iterations of 4 instrs (incl. jump) + final test + halt.
@@ -616,7 +616,7 @@ mod tests {
             b: 1,
         })
         .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = run_program(&p, &[vec![1; 10], vec![2; 10]]).unwrap();
         assert_eq!(out.outputs[0], vec![3; 10]);
         // add: inputs 10+10, output 10 => 30; halt: 0.
@@ -634,7 +634,7 @@ mod tests {
             b: 1,
         })
         .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let err = run_program(&p, &[vec![1, 2], vec![3]]).unwrap_err();
         assert!(matches!(err, MachineError::LengthMismatch { .. }));
     }
@@ -645,7 +645,7 @@ mod tests {
         // and a program halting in *exactly* `limit` steps succeeds.
         let mut b = Builder::new(0, 1);
         b.push(Singleton { dst: 0, n: 7 }).push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = Machine::new(p.n_regs)
             .with_step_limit(2)
             .run(&p, &[])
@@ -682,7 +682,7 @@ mod tests {
             .push(Append { dst: 0, a: 0, b: 0 }) // self-append doubles
             .push(Select { dst: 1, src: 1 }) // in-place retain
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = run_program(&p, &[vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
         assert_eq!(out.outputs[0], vec![5, 7, 9, 5, 7, 9]);
         assert_eq!(out.outputs[1], vec![20, 35, 54]);
@@ -696,7 +696,7 @@ mod tests {
     fn append_with_dst_aliasing_b_prepends() {
         let mut b = Builder::new(2, 2);
         b.push(Append { dst: 1, a: 0, b: 1 }).push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = run_program(&p, &[vec![1, 2], vec![3, 4]]).unwrap();
         assert_eq!(out.outputs[1], vec![1, 2, 3, 4]);
     }
@@ -714,7 +714,7 @@ mod tests {
                 b: 1,
             })
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let i1 = vec![vec![5; 8]];
         let i2 = vec![vec![9; 3]];
         let fresh1 = run_program(&p, &i1).unwrap();
@@ -735,7 +735,7 @@ mod tests {
     fn step_limit_guards_divergence() {
         let mut b = Builder::new(0, 0);
         b.label("x").goto("x");
-        let p = b.build();
+        let p = b.build().unwrap();
         let err = Machine::new(p.n_regs)
             .with_step_limit(100)
             .run(&p, &[])
@@ -752,7 +752,7 @@ mod tests {
             .push(Length { dst: 1, src: 0 })
             .push(Append { dst: 0, a: 0, b: 1 })
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = run_program(&p, &[]).unwrap();
         assert_eq!(out.outputs[0], vec![5, 6, 2]);
     }

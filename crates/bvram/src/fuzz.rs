@@ -180,6 +180,7 @@ pub fn decode_program(words: &[u64], input_lens: [usize; FUZZ_INPUTS], r_out: us
     }
     b.push(Instr::Halt);
     b.build()
+        .expect("fuzz programs are straight-line and label-free")
 }
 
 #[cfg(test)]

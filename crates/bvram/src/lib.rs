@@ -28,4 +28,4 @@ pub mod program;
 pub use exec::{run_program, Machine, MachineError, RunOutcome, Stats, Vector};
 pub use instr::{Instr, Label, Op, Reg};
 pub use par::ParMachine;
-pub use program::{Builder, Program};
+pub use program::{BuildError, Builder, Program};

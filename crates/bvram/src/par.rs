@@ -340,7 +340,7 @@ mod tests {
             b: 3,
         })
         .push(Halt);
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]
@@ -376,7 +376,7 @@ mod tests {
             values: 2,
         })
         .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         // large: n values each replicated twice
         let n = 2 * GRAIN as u64;
         let counts: Vec<u64> = (0..n).map(|_| 2).collect();
@@ -398,7 +398,7 @@ mod tests {
             values: 2,
         })
         .push(Halt);
-        let p = bld.build();
+        let p = bld.build().unwrap();
         // Uneven counts incl. zeros, crossing the GRAIN boundary.
         let counts: Vec<u64> = (0..3000u64).map(|i| i % 5).collect();
         let total: u64 = counts.iter().sum();
@@ -413,7 +413,7 @@ mod tests {
     fn par_step_limit_boundary_is_inclusive_of_final_halt() {
         let mut b = Builder::new(0, 1);
         b.push(Singleton { dst: 0, n: 7 }).push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let out = ParMachine::new(p.n_regs)
             .with_step_limit(2)
             .run(&p, &[])
@@ -436,7 +436,7 @@ mod tests {
             segs: 3,
         })
         .push(Halt);
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]
@@ -493,7 +493,7 @@ mod tests {
             b: 1,
         })
         .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let n = GRAIN + 5;
         let a = vec![1u64; n];
         let mut bb = vec![1u64; n];

@@ -39,6 +39,41 @@ impl fmt::Display for Program {
     }
 }
 
+/// A malformed program caught at [`Builder::build`] time.
+///
+/// Label resolution used to `panic!` on these, which meant any consumer
+/// feeding the builder untrusted or generated input (the fuzzer, a surface
+/// front end) aborted the process instead of getting an error value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A jump references a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined at two positions.
+    DuplicateLabel(String),
+    /// A pending label points at an instruction that is not a jump
+    /// (internal builder misuse).
+    PendingOnNonJump {
+        /// Index of the offending instruction.
+        at: usize,
+        /// Its rendering.
+        instr: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
+            BuildError::DuplicateLabel(name) => write!(f, "duplicate label `{name}`"),
+            BuildError::PendingOnNonJump { at, instr } => {
+                write!(f, "pending label on non-jump instruction {at}: {instr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// A builder with symbolic labels and automatic register counting.
 #[derive(Debug, Default)]
 pub struct Builder {
@@ -46,6 +81,8 @@ pub struct Builder {
     /// Placeholders: instruction index → label name to patch.
     pending: Vec<(usize, String)>,
     labels: HashMap<String, Label>,
+    /// Labels defined more than once (reported at build time).
+    duplicates: Vec<String>,
     max_reg: Reg,
     r_in: usize,
     r_out: usize,
@@ -78,13 +115,13 @@ impl Builder {
         self
     }
 
-    /// Defines a label at the current position.
+    /// Defines a label at the current position.  A duplicate definition is
+    /// recorded and reported by [`Builder::build`].
     pub fn label(&mut self, name: &str) -> &mut Self {
         let at = self.instrs.len() as Label;
-        assert!(
-            self.labels.insert(name.to_string(), at).is_none(),
-            "duplicate label {name}"
-        );
+        if self.labels.insert(name.to_string(), at).is_some() {
+            self.duplicates.push(name.to_string());
+        }
         self
     }
 
@@ -104,23 +141,36 @@ impl Builder {
     }
 
     /// Resolves labels and produces the program.
-    pub fn build(mut self) -> Program {
+    ///
+    /// Malformed label usage (a jump to a label never defined, a label
+    /// defined twice, a pending patch landing on a non-jump) is returned as
+    /// a [`BuildError`] rather than aborting the process, so generated or
+    /// untrusted programs can be validated by library consumers.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        if let Some(name) = self.duplicates.first() {
+            return Err(BuildError::DuplicateLabel(name.clone()));
+        }
         for (at, name) in &self.pending {
             let target = *self
                 .labels
                 .get(name)
-                .unwrap_or_else(|| panic!("undefined label {name}"));
+                .ok_or_else(|| BuildError::UndefinedLabel(name.clone()))?;
             match &mut self.instrs[*at] {
                 Instr::Goto { target: t } | Instr::IfEmptyGoto { target: t, .. } => *t = target,
-                other => panic!("pending label on non-jump {other}"),
+                other => {
+                    return Err(BuildError::PendingOnNonJump {
+                        at: *at,
+                        instr: other.to_string(),
+                    });
+                }
             }
         }
-        Program {
+        Ok(Program {
             instrs: self.instrs,
             n_regs: self.max_reg as usize + 1,
             r_in: self.r_in,
             r_out: self.r_out,
-        }
+        })
     }
 }
 
@@ -138,7 +188,7 @@ mod tests {
             .goto("loop")
             .label("done")
             .push(Instr::Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         assert_eq!(p.instrs.len(), 4);
         assert!(matches!(p.instrs[0], Instr::IfEmptyGoto { target: 3, .. }));
         assert!(matches!(p.instrs[2], Instr::Goto { target: 0 }));
@@ -154,23 +204,49 @@ mod tests {
             b: 3,
         })
         .push(Instr::Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         assert_eq!(p.n_regs, 8);
     }
 
     #[test]
-    #[should_panic(expected = "undefined label")]
-    fn undefined_label_panics() {
+    fn undefined_label_is_an_error_not_a_panic() {
         let mut b = Builder::new(0, 0);
         b.goto("nowhere");
-        let _ = b.build();
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error_not_a_panic() {
+        let mut b = Builder::new(0, 0);
+        b.label("here").push(Instr::Halt).label("here");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateLabel("here".into())
+        );
+    }
+
+    #[test]
+    fn build_errors_display_helpfully() {
+        assert_eq!(
+            BuildError::UndefinedLabel("x".into()).to_string(),
+            "undefined label `x`"
+        );
+        assert!(BuildError::PendingOnNonJump {
+            at: 3,
+            instr: "halt".into()
+        }
+        .to_string()
+        .contains("non-jump"));
     }
 
     #[test]
     fn display_lists_instructions() {
         let mut b = Builder::new(1, 1);
         b.push(Instr::Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let s = p.to_string();
         assert!(s.contains("halt"));
         assert!(s.contains("bvram program"));

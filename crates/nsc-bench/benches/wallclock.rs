@@ -14,7 +14,7 @@ fn saxpy_like() -> bvram::Program {
         .push(Arith { dst: 2, op: Op::Mul, a: 3, b: 0 })
         .push(Arith { dst: 0, op: Op::Add, a: 2, b: 3 })
         .push(Halt);
-    b.build()
+    b.build().unwrap()
 }
 
 fn bench_backends(c: &mut Criterion) {

@@ -722,7 +722,10 @@ pub fn compile_sa(f: &Sa, dom: &Type) -> Result<(Program, Type), E> {
         });
     }
     g.emit(Instr::Halt);
-    let mut prog = g.b.build();
+    let mut prog = g
+        .b
+        .build()
+        .map_err(|e| E::MachineFault(format!("codegen emitted a malformed program: {e}")))?;
     prog.r_out = outs.len();
     Ok((prog, cod))
 }

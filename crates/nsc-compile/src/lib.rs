@@ -15,4 +15,6 @@ pub mod pipeline;
 
 pub use codegen::compile_sa;
 pub use opt::{optimize, OptLevel};
-pub use pipeline::{compile_nsc, compile_nsc_with, differential, run_compiled, Compiled};
+pub use pipeline::{
+    compile_nsc, compile_nsc_with, differential, run_compiled, run_compiled_on, Backend, Compiled,
+};

@@ -295,7 +295,7 @@ mod tests {
         })
         .push(Move { dst: 0, src: 2 })
         .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(coalesce_moves(&mut p));
         assert_eq!(p.instrs.len(), 2);
         let out = run_program(&p, &[vec![1, 2], vec![3, 4]]).unwrap();
@@ -313,7 +313,7 @@ mod tests {
             .goto("loop")
             .label("done")
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(coalesce_moves(&mut p));
         assert!(p.instrs.iter().all(|i| !matches!(i, Move { .. })), "{p}");
         let out = run_program(&p, &[vec![7; 6]]).unwrap();
@@ -329,7 +329,7 @@ mod tests {
             .push(Enumerate { dst: 0, src: 0 })
             .push(Move { dst: 1, src: 2 })
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         coalesce_moves(&mut p);
         let out = run_program(&p, &[vec![7, 8, 9]]).unwrap();
         assert_eq!(out.outputs[0], vec![0, 1, 2]);
@@ -345,7 +345,7 @@ mod tests {
             .push(Move { dst: 2, src: 0 })
             .push(Append { dst: 0, a: 2, b: 3 })
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         coalesce_moves(&mut p);
         let out = run_program(&p, &[vec![5, 5]]).unwrap();
         assert_eq!(
@@ -360,7 +360,7 @@ mod tests {
         // v1 <- v0 with both pinned (input and output): the move stays.
         let mut b = Builder::new(2, 2);
         b.push(Move { dst: 1, src: 0 }).push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         coalesce_moves(&mut p);
         let out = run_program(&p, &[vec![1], vec![2]]).unwrap();
         assert_eq!(out.outputs, vec![vec![1], vec![1]]);

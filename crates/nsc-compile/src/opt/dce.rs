@@ -65,7 +65,7 @@ mod tests {
             .push(Enumerate { dst: 2, src: 1 })
             .push(Select { dst: 3, src: 2 })
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(eliminate_dead(&mut p));
         assert_eq!(p.instrs.len(), 1);
     }
@@ -80,7 +80,7 @@ mod tests {
             b: 1,
         })
         .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(!eliminate_dead(&mut p));
         assert_eq!(p.instrs.len(), 2);
     }
@@ -95,7 +95,7 @@ mod tests {
             .goto("l")
             .label("d")
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(!eliminate_dead(&mut p));
         assert_eq!(p.instrs.len(), 5);
     }
@@ -107,7 +107,7 @@ mod tests {
             .push(Singleton { dst: 1, n: 2 })
             .push(Singleton { dst: 2, n: 3 }) // dead: beyond r_out, unread
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(eliminate_dead(&mut p));
         assert_eq!(p.instrs.len(), 3);
     }

@@ -76,7 +76,7 @@ mod tests {
             .push(Halt)
             .label("b")
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(thread_jumps(&mut p));
         // Everything threads to the final halt; only it survives... the
         // entry goto threads to the last halt, the rest is unreachable.
@@ -88,7 +88,7 @@ mod tests {
     fn self_loop_survives() {
         let mut b = Builder::new(0, 0);
         b.label("x").goto("x");
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         thread_jumps(&mut p);
         assert_eq!(p.instrs.len(), 1);
         assert!(matches!(p.instrs[0], Goto { target: 0 }));
@@ -103,7 +103,7 @@ mod tests {
             .goto("end")
             .label("end")
             .push(Halt);
-        let mut p = b.build();
+        let mut p = b.build().unwrap();
         assert!(thread_jumps(&mut p));
         let Instr::IfEmptyGoto { target, .. } = p.instrs[0] else {
             panic!("expected conditional: {p}");

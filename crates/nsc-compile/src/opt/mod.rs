@@ -203,7 +203,7 @@ mod tests {
             .push(Move { dst: 6, src: 5 })
             .push(Move { dst: 0, src: 6 })
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let opt = check_optimized(&p, &[vec![1, 2, 3]]);
         assert_eq!(opt.instrs.len(), 2, "{opt}");
         assert!(opt.n_regs <= 2, "registers should compact: {}", opt.n_regs);
@@ -217,7 +217,7 @@ mod tests {
             .push(Move { dst: 0, src: 2 })
             .push(Move { dst: 1, src: 3 })
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let opt = check_optimized(&p, &[vec![9; 7]]);
         // One length feeds both outputs; the second is dead and removed.
         let lengths = opt.instrs.iter().filter(|i| matches!(i, Length { .. })).count();
@@ -239,7 +239,7 @@ mod tests {
             })
             .push(Empty { dst: 0 })
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         check_optimized(&p, &[]);
         let opt = optimize(p.clone(), OptLevel::O1);
         assert!(
@@ -258,7 +258,7 @@ mod tests {
             .push(Singleton { dst: 0, n: 98 }) // unreachable
             .label("b")
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let opt = check_optimized(&p, &[vec![5]]);
         assert!(
             opt.instrs.iter().all(|i| !matches!(i, Singleton { .. })),
@@ -280,7 +280,7 @@ mod tests {
             .goto("loop")
             .label("done")
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let opt = check_optimized(&p, &[vec![7; 6]]);
         assert!(
             opt.instrs.iter().all(|i| !matches!(i, Move { .. })),
@@ -299,7 +299,7 @@ mod tests {
             .if_empty_goto(0, "off")
             .push(Halt)
             .label("off");
-        let p = b.build();
+        let p = b.build().unwrap();
         check_optimized(&p, &[vec![4, 5]]); // halts normally
         check_optimized(&p, &[vec![]]); // branch taken: falls off the end
     }
@@ -308,7 +308,7 @@ mod tests {
     fn o0_is_identity() {
         let mut b = Builder::new(1, 1);
         b.push(Move { dst: 3, src: 0 }).push(Move { dst: 0, src: 3 }).push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let same = optimize(p.clone(), OptLevel::O0);
         assert_eq!(same.instrs, p.instrs);
         assert_eq!(same.n_regs, p.n_regs);

@@ -14,7 +14,7 @@
 use crate::codegen::compile_sa;
 use crate::layout::{regs_to_value, value_to_regs};
 use crate::opt::{optimize, OptLevel};
-use bvram::{Machine, MachineError, Program};
+use bvram::{Machine, MachineError, ParMachine, Program};
 use nsc_algebra::nsa::from_nsc::func_to_nsa;
 use nsc_algebra::sa::flatten::{compile, compile_type, decode, encode};
 use nsc_core::cost::Cost;
@@ -43,10 +43,21 @@ pub fn compile_nsc(f: &Func, dom: &Type) -> Result<Compiled, E> {
 /// Compiles a closed NSC function `f : dom → cod` down to the BVRAM,
 /// running the [`crate::opt`] pass pipeline at the requested level.
 pub fn compile_nsc_with(f: &Func, dom: &Type, level: OptLevel) -> Result<Compiled, E> {
-    let nsa = func_to_nsa(f).map_err(|_| E::Stuck("NSC -> NSA translation failed"))?;
+    let nsa = func_to_nsa(f).map_err(E::Translation)?;
     let (sa, cod) = compile(&nsa, dom)?;
     let (program, sa_cod) = compile_sa(&sa, &compile_type(dom))?;
-    debug_assert_eq!(sa_cod, compile_type(&cod));
+    // Internal invariant: the BVRAM register layout must describe exactly
+    // the flattened codomain, or every output the program writes will be
+    // decoded under the wrong shape.  This was a `debug_assert_eq!`, which
+    // vanishes in `--release` — the one build users actually run — so a
+    // miscompiled layout would silently produce garbage there.
+    if sa_cod != compile_type(&cod) {
+        return Err(E::MachineFault(format!(
+            "compiled codomain layout {sa_cod} does not match the flattened \
+             source codomain {} (internal error)",
+            compile_type(&cod)
+        )));
+    }
     let program = optimize(program, level);
     Ok(Compiled {
         program,
@@ -71,14 +82,42 @@ fn machine_error_to_eval(e: MachineError) -> E {
     }
 }
 
+/// Which BVRAM interpreter executes a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The sequential reference interpreter ([`Machine`]).
+    #[default]
+    Seq,
+    /// The rayon-parallel interpreter ([`ParMachine`]) — bit-for-bit the
+    /// same semantics and `Stats`.
+    Par,
+}
+
+impl Backend {
+    /// The backend's CLI name (`seq`/`par`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Seq => "seq",
+            Backend::Par => "par",
+        }
+    }
+}
+
 /// Runs a compiled program on an NSC value; returns the decoded NSC result
 /// and the machine's `(T, W)`.
 pub fn run_compiled(c: &Compiled, arg: &Value) -> Result<(Value, Cost), E> {
+    run_compiled_on(c, arg, Backend::Seq)
+}
+
+/// [`run_compiled`] on a chosen [`Backend`].
+pub fn run_compiled_on(c: &Compiled, arg: &Value, backend: Backend) -> Result<(Value, Cost), E> {
     let enc = encode(arg, &c.dom)?;
     let regs = value_to_regs(&enc, &compile_type(&c.dom))?;
-    let out = Machine::new(c.program.n_regs)
-        .run_owned(&c.program, regs)
-        .map_err(machine_error_to_eval)?;
+    let out = match backend {
+        Backend::Seq => Machine::new(c.program.n_regs).run_owned(&c.program, regs),
+        Backend::Par => ParMachine::new(c.program.n_regs).run_owned(&c.program, regs),
+    }
+    .map_err(machine_error_to_eval)?;
     let flat = regs_to_value(&out.outputs, &compile_type(&c.cod))?;
     let val = decode(&flat, &c.cod)?;
     Ok((val, Cost::new(out.stats.time, out.stats.work)))
@@ -199,7 +238,7 @@ mod tests {
             })
             .push(Instr::Halt);
         let broken = Compiled {
-            program: b.build(),
+            program: b.build().unwrap(),
             dom: good.dom.clone(),
             cod: good.cod.clone(),
         };
@@ -219,6 +258,31 @@ mod tests {
         let c = compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
         let err = run_compiled(&c, &Value::nat_seq([1, 2])).unwrap_err();
         assert_eq!(err, E::Omega);
+    }
+
+    #[test]
+    fn translation_errors_carry_the_real_cause() {
+        // An open function: `y` is unbound, and variable elimination is
+        // where that surfaces.  The error must name the variable, not be
+        // a generic "translation failed".
+        let f = a::lam("x", a::add(a::var("x"), a::var("y")));
+        let err = compile_nsc(&f, &Type::Nat).unwrap_err();
+        match &err {
+            E::Translation(nsc_core::TypeError::UnboundVariable(name)) => {
+                assert_eq!(name, "y");
+            }
+            other => panic!("expected Translation(UnboundVariable), got {other:?}"),
+        }
+        assert!(err.to_string().contains("unbound variable `y`"), "{err}");
+
+        // An unresolved named function is the other translation failure
+        // a front end can trigger.
+        let g = a::named("not_a_definition");
+        let err = compile_nsc(&g, &Type::Nat).unwrap_err();
+        assert!(
+            matches!(&err, E::Translation(_)),
+            "expected Translation, got {err:?}"
+        );
     }
 
     #[test]
@@ -273,6 +337,22 @@ mod tests {
                     "{name} at n={n}: optimizer regressed cost {t0:?} -> {t1:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn par_backend_matches_seq_backend() {
+        let f = a::map(a::while_(
+            a::lam("x", a::lt(a::nat(0), a::var("x"))),
+            a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+        ));
+        let c = compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+        for n in [0u64, 1, 7, 64] {
+            let arg = Value::nat_seq((0..n).map(|i| i * 3 % 19));
+            let (vs, cs) = run_compiled_on(&c, &arg, Backend::Seq).unwrap();
+            let (vp, cp) = run_compiled_on(&c, &arg, Backend::Par).unwrap();
+            assert_eq!(vs, vp, "outputs diverge at n={n}");
+            assert_eq!((cs.time, cs.work), (cp.time, cp.work), "stats diverge at n={n}");
         }
     }
 

@@ -530,6 +530,72 @@ pub fn named(name: &str) -> Func {
     Func::mk(FuncK::Named(ident(name)))
 }
 
+// ---------------------------------------------------------------------------
+// Structural equality.  Two terms are equal iff their syntax trees are
+// identical (same binder names, same annotations) — this is the relation the
+// round-trip law `parse(pretty(f)) == f` is stated in.  Pointer-equal nodes
+// short-circuit, so comparing a term against a rebuilt copy of itself stays
+// linear in the tree size despite shared `Rc` subtrees.
+// ---------------------------------------------------------------------------
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Term) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        match (self.kind(), other.kind()) {
+            (TermK::Var(a), TermK::Var(b)) => a == b,
+            (TermK::Error(a), TermK::Error(b)) => a == b,
+            (TermK::Const(a), TermK::Const(b)) => a == b,
+            (TermK::Arith(o1, a1, b1), TermK::Arith(o2, a2, b2)) => {
+                o1 == o2 && a1 == a2 && b1 == b2
+            }
+            (TermK::Cmp(o1, a1, b1), TermK::Cmp(o2, a2, b2)) => o1 == o2 && a1 == a2 && b1 == b2,
+            (TermK::Unit, TermK::Unit) => true,
+            (TermK::Pair(a1, b1), TermK::Pair(a2, b2)) => a1 == a2 && b1 == b2,
+            (TermK::Proj1(a), TermK::Proj1(b)) => a == b,
+            (TermK::Proj2(a), TermK::Proj2(b)) => a == b,
+            (TermK::Inl(a, s), TermK::Inl(b, t)) => s == t && a == b,
+            (TermK::Inr(a, s), TermK::Inr(b, t)) => s == t && a == b,
+            (TermK::Case(m1, x1, n1, y1, p1), TermK::Case(m2, x2, n2, y2, p2)) => {
+                x1 == x2 && y1 == y2 && m1 == m2 && n1 == n2 && p1 == p2
+            }
+            (TermK::Apply(f1, m1), TermK::Apply(f2, m2)) => f1 == f2 && m1 == m2,
+            (TermK::Empty(a), TermK::Empty(b)) => a == b,
+            (TermK::Singleton(a), TermK::Singleton(b)) => a == b,
+            (TermK::Append(a1, b1), TermK::Append(a2, b2)) => a1 == a2 && b1 == b2,
+            (TermK::Flatten(a), TermK::Flatten(b)) => a == b,
+            (TermK::Length(a), TermK::Length(b)) => a == b,
+            (TermK::Get(a), TermK::Get(b)) => a == b,
+            (TermK::Zip(a1, b1), TermK::Zip(a2, b2)) => a1 == a2 && b1 == b2,
+            (TermK::Enumerate(a), TermK::Enumerate(b)) => a == b,
+            (TermK::Split(a1, b1), TermK::Split(a2, b2)) => a1 == a2 && b1 == b2,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Term {}
+
+impl PartialEq for Func {
+    fn eq(&self, other: &Func) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        match (self.kind(), other.kind()) {
+            (FuncK::Lambda(x1, t1, b1), FuncK::Lambda(x2, t2, b2)) => {
+                x1 == x2 && t1 == t2 && b1 == b2
+            }
+            (FuncK::Map(a), FuncK::Map(b)) => a == b,
+            (FuncK::While(p1, f1), FuncK::While(p2, f2)) => p1 == p2 && f1 == f2,
+            (FuncK::Named(a), FuncK::Named(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Func {}
+
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         crate::pretty::fmt_term(self, f)
@@ -605,6 +671,22 @@ mod tests {
         assert!(CmpOp::Le.apply(4, 4));
         assert!(!CmpOp::Lt.apply(4, 4));
         assert!(CmpOp::Lt.apply(3, 4));
+    }
+
+    #[test]
+    fn structural_equality_is_syntactic() {
+        let a = lam("x", add(var("x"), nat(1)));
+        let b = lam("x", add(var("x"), nat(1)));
+        assert_eq!(a, b);
+        // Alpha-variants are NOT equal: equality is on the syntax tree.
+        let c = lam("y", add(var("y"), nat(1)));
+        assert_ne!(a, c);
+        // Annotations participate.
+        assert_ne!(
+            inl(unit(), crate::types::Type::Unit),
+            inl(unit(), crate::types::Type::Nat)
+        );
+        assert_ne!(lam("x", var("x")), lam_t("x", crate::types::Type::Nat, var("x")));
     }
 
     #[test]

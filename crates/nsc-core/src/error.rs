@@ -89,6 +89,13 @@ pub enum EvalError {
     /// code.  Kept distinct from [`EvalError::Omega`] so compiler bugs are
     /// never mistaken for legitimate nontermination.
     MachineFault(String),
+    /// The NSC → NSA variable-elimination translation rejected the program.
+    ///
+    /// This wraps the underlying [`TypeError`] so pipeline users (the `nsc`
+    /// CLI, tests) see *why* the translation failed — an unbound variable,
+    /// an unknown named function — instead of an opaque "translation
+    /// failed".
+    Translation(TypeError),
 }
 
 impl fmt::Display for EvalError {
@@ -113,8 +120,17 @@ impl fmt::Display for EvalError {
             EvalError::MachineFault(what) => {
                 write!(f, "compiled program faulted (compiler bug): {what}")
             }
+            EvalError::Translation(err) => {
+                write!(f, "NSC -> NSA translation failed: {err}")
+            }
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<TypeError> for EvalError {
+    fn from(err: TypeError) -> Self {
+        EvalError::Translation(err)
+    }
+}

@@ -16,7 +16,10 @@
 //!   `index`, `index_split`, prefix sums, ...);
 //! * [`maprec`] — the section 4 recursion extension: *map-recursive*
 //!   definitions, their direct cost semantics, and the **Theorem 4.2**
-//!   translation into pure NSC `while` programs.
+//!   translation into pure NSC `while` programs;
+//! * [`parse`] — the surface syntax: a parser for exactly the notation
+//!   [`pretty`] prints (`parse(pretty(f)) == f`), plus `.nsc` modules and
+//!   value literals for the `nsc` CLI.
 //!
 //! ## Quick example
 //!
@@ -42,6 +45,7 @@ pub mod env;
 pub mod error;
 pub mod eval;
 pub mod maprec;
+pub mod parse;
 pub mod pretty;
 pub mod stdlib;
 pub mod tyck;
@@ -52,5 +56,6 @@ pub use ast::{Func, Term};
 pub use cost::Cost;
 pub use error::{EvalError, TypeError};
 pub use eval::{apply_func, eval_term, Evaluator, FuncDef, FuncTable};
+pub use parse::{parse_func, parse_module, parse_term, parse_type, parse_value, ParseError};
 pub use types::Type;
 pub use value::Value;

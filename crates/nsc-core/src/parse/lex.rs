@@ -1,0 +1,394 @@
+//! The NSC surface-syntax lexer.
+//!
+//! Tokens carry their 1-based line/column so every parse error can point at
+//! the offending spot.  Keywords are not distinguished from identifiers
+//! here — the parser decides contextually (e.g. `x` is an ordinary variable
+//! in terms but the product separator inside a type).
+//!
+//! Identifier syntax deliberately admits `#`: the [`crate::stdlib::util::gensym`]
+//! fresh names (`p#0`, `iv#17`, …) appear in printed programs and must
+//! re-lex.  To keep gensym's capture-freedom guarantee intact, every `#`
+//! identifier lexed is passed to [`crate::stdlib::util::reserve`], which
+//! advances the gensym counter past it — so combining a parsed program
+//! with gensym-using builders can never mint a colliding binder.
+
+use super::ParseError;
+
+/// The shape of a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A natural-number literal.
+    Nat(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `|`
+    Bar,
+    /// `\` (lambda)
+    Backslash,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `=`
+    Equals,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>>`
+    Shr,
+    /// `<<`
+    Shl,
+    /// `+`
+    Plus,
+    /// `-.` (monus)
+    Monus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `@` (append)
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Nat(n) => format!("`{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Bar => "`|`".into(),
+            Tok::Backslash => "`\\`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::FatArrow => "`=>`".into(),
+            Tok::Equals => "`=`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Shr => "`>>`".into(),
+            Tok::Shl => "`<<`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Monus => "`-.`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::At => "`@`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexes a whole source string; the result always ends with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (tline, tcol) = (line, col);
+        let c = match chars.peek().copied() {
+            None => break,
+            Some(c) => c,
+        };
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        let tok = match c {
+            '(' => {
+                bump!();
+                Tok::LParen
+            }
+            ')' => {
+                bump!();
+                Tok::RParen
+            }
+            '[' => {
+                bump!();
+                Tok::LBracket
+            }
+            ']' => {
+                bump!();
+                Tok::RBracket
+            }
+            ',' => {
+                bump!();
+                Tok::Comma
+            }
+            '.' => {
+                bump!();
+                Tok::Dot
+            }
+            ':' => {
+                bump!();
+                Tok::Colon
+            }
+            '|' => {
+                bump!();
+                Tok::Bar
+            }
+            '\\' => {
+                bump!();
+                Tok::Backslash
+            }
+            '+' => {
+                bump!();
+                Tok::Plus
+            }
+            '*' => {
+                bump!();
+                Tok::Star
+            }
+            '/' => {
+                bump!();
+                Tok::Slash
+            }
+            '%' => {
+                bump!();
+                Tok::Percent
+            }
+            '@' => {
+                bump!();
+                Tok::At
+            }
+            '=' => {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    Tok::FatArrow
+                } else {
+                    Tok::Equals
+                }
+            }
+            '<' => {
+                bump!();
+                match chars.peek() {
+                    Some('=') => {
+                        bump!();
+                        Tok::Le
+                    }
+                    Some('<') => {
+                        bump!();
+                        Tok::Shl
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    Tok::Shr
+                } else {
+                    return Err(ParseError::at(tline, tcol, "stray `>` (did you mean `>>`?)"));
+                }
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some('.') => {
+                        bump!();
+                        Tok::Monus
+                    }
+                    Some('>') => {
+                        bump!();
+                        Tok::Arrow
+                    }
+                    Some('-') => {
+                        // line comment
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                        continue;
+                    }
+                    _ => {
+                        return Err(ParseError::at(
+                            tline,
+                            tcol,
+                            "stray `-`: NSC has no subtraction, use monus `-.`",
+                        ));
+                    }
+                }
+            }
+            '0'..='9' => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    bump!();
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64 - '0' as u64))
+                        .ok_or_else(|| {
+                            ParseError::at(tline, tcol, "numeral does not fit in 64 bits")
+                        })?;
+                }
+                Tok::Nat(n)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '#' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if s.contains('#') {
+                    crate::stdlib::util::reserve(&s);
+                }
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(ParseError::at(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        };
+        out.push(Token {
+            tok,
+            line: tline,
+            col: tcol,
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        assert_eq!(
+            kinds("<= << < >> -. -> => ="),
+            vec![
+                Tok::Le,
+                Tok::Shl,
+                Tok::Lt,
+                Tok::Shr,
+                Tok::Monus,
+                Tok::Arrow,
+                Tok::FatArrow,
+                Tok::Equals,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_gensym_identifiers() {
+        assert_eq!(
+            kinds("p#0 iv#17"),
+            vec![
+                Tok::Ident("p#0".into()),
+                Tok::Ident("iv#17".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexed_gensym_names_are_reserved_against_future_gensyms() {
+        use crate::stdlib::util::gensym;
+        // Parsing a program that mentions `q#<n>` must prevent gensym from
+        // ever minting that name again on this thread — otherwise a
+        // builder like `lam2` could capture the parsed variable.
+        let _ = lex("(q#4711 + x)").unwrap();
+        let fresh = gensym("q");
+        let n: u64 = fresh[fresh.rfind('#').unwrap() + 1..].parse().unwrap();
+        assert!(n > 4711, "gensym {fresh} could collide with the parsed q#4711");
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        assert_eq!(
+            kinds("1 -- ignored + * (\n2"),
+            vec![Tok::Nat(1), Tok::Nat(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn stray_minus_is_a_lex_error() {
+        let err = lex("1 - 2").unwrap_err();
+        assert!(err.to_string().contains("monus"), "{err}");
+    }
+
+    #[test]
+    fn huge_numeral_is_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+        assert_eq!(kinds("18446744073709551615"), vec![Tok::Nat(u64::MAX), Tok::Eof]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The NSC **surface syntax**: a lexer and recursive-descent parser for the
+//! exact notation [`crate::pretty`] prints.
+//!
+//! The paper presents NSC programs in mathematical notation; `pretty.rs`
+//! renders our ASTs in an ASCII transliteration of it.  This module is the
+//! missing inverse, making printed programs a real input format:
+//!
+//! * [`parse_term`] / [`parse_func`] / [`parse_type`] — one term, function,
+//!   or type;
+//! * [`parse_module`] — a `.nsc` file of `fn name : s -> t = F` definitions
+//!   (plus an optional `input <value>` default argument);
+//! * [`parse_value`] — S-object literals in `Value`'s `Display` notation.
+//!
+//! The contract with the printer is the round-trip law
+//!
+//! ```text
+//! parse(pretty(f)) == f        (structural equality, no type checker)
+//! ```
+//!
+//! enforced by property tests over random terms and by golden tests over
+//! the standard library, the map-recursion fixtures, and Valiant's
+//! mergesort.  Two consequences shape the grammar: every binary operation
+//! and every `case` is parenthesized (no precedence, no dangling arms), and
+//! the constructs whose types cannot be recovered syntactically carry
+//! annotations (`omega:t`, `[]:t`, `inl:t(M)`, `inr:t(M)` — for the
+//! injections the annotation is the *other* summand's type, exactly what
+//! [`crate::ast::TermK::Inl`] stores).
+//!
+//! ```
+//! use nsc_core::parse::parse_func;
+//! use nsc_core::eval::apply_func;
+//! use nsc_core::value::Value;
+//!
+//! let f = parse_func(r"map((\x. (x * x)))").unwrap();
+//! let (out, _) = apply_func(&f, Value::nat_seq(0..4)).unwrap();
+//! assert_eq!(out, Value::nat_seq([0, 1, 4, 9]));
+//! assert_eq!(parse_func(&f.to_string()).unwrap(), f);
+//! ```
+
+pub mod lex;
+pub mod program;
+pub mod term;
+pub mod value;
+
+pub use program::{parse_module, Def, Module, ModuleError};
+pub use term::{is_keyword, parse_func, parse_term, parse_type};
+pub use value::parse_value;
+
+use std::fmt;
+
+/// A syntax error with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn at(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,641 @@
+//! `.nsc` source files: top-level function definitions plus an optional
+//! default input.
+//!
+//! ```text
+//! -- comments run to end of line
+//! fn double : [N] -> [N] = map((\x. (x * 2)))
+//! fn main   : [N] -> [N] = (\xs. double(xs))
+//! input [1, 2, 3]
+//! ```
+//!
+//! Definitions may reference each other (and themselves) by name — that is
+//! the paper's section-4 recursion extension, evaluated against a
+//! [`FuncTable`].  The Theorem 7.1 compiler handles *pure* NSC only, so
+//! [`Module::inlined`] resolves the call graph by substitution and reports
+//! genuine recursion as an error (recursive programs go through the
+//! Theorem 4.2 translation instead).
+
+use super::term::Cursor;
+use super::ParseError;
+use crate::ast::{self, Func, FuncK, Ident, Term, TermK};
+use crate::error::TypeError;
+use crate::eval::{FuncDef, FuncTable};
+use crate::parse::lex::Tok;
+use crate::tyck::{check_func, SigTable, TypeCtx};
+use crate::types::Type;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One `fn name : dom -> cod = func` definition.
+#[derive(Debug, Clone)]
+pub struct Def {
+    /// The function's name.
+    pub name: Ident,
+    /// Declared domain type.
+    pub dom: Type,
+    /// Declared codomain type.
+    pub cod: Type,
+    /// The right-hand side.
+    pub func: Func,
+}
+
+/// A parsed `.nsc` file.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Definitions in source order.
+    pub defs: Vec<Def>,
+    /// The optional `input <value>` directive (default argument for `main`).
+    pub input: Option<Value>,
+}
+
+/// A static error at module level (duplicate/unknown names, type errors,
+/// recursion where pure NSC is required).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// Two definitions share a name.
+    Duplicate(String),
+    /// A referenced definition does not exist.
+    Unknown(String),
+    /// A definition failed to type check.
+    Type {
+        /// The definition's name.
+        def: String,
+        /// The underlying type error.
+        err: TypeError,
+    },
+    /// A definition's body mentions variables bound nowhere — definitions
+    /// must be closed (this is also what makes inlining capture-safe).
+    OpenDefinition {
+        /// The definition's name.
+        def: String,
+        /// One of the free variables.
+        var: String,
+    },
+    /// Inlining would produce a program nested beyond
+    /// [`crate::parse::term::MAX_DEPTH`] levels.  The parser bounds each
+    /// *definition*; chains of definitions compose their depths, and a
+    /// program past this bound would blow the stack of every later stage
+    /// (translation, compilation, evaluation).
+    InliningTooDeep(String),
+    /// Inlining would produce a program of more than [`MAX_INLINE_NODES`]
+    /// AST nodes.  Diamond-shaped call graphs expand exponentially (each
+    /// of `n` definitions calling the next twice is `2^n` copies); the
+    /// inliner itself shares subtrees, but every later stage walks the
+    /// result as a tree, so an over-budget expansion must be an error, not
+    /// a hang.
+    InliningTooLarge(String),
+    /// A definition's body has codomain different from its declaration.
+    CodomainMismatch {
+        /// The definition's name.
+        def: String,
+        /// The declared codomain.
+        declared: Type,
+        /// The codomain the body actually has.
+        found: Type,
+    },
+    /// A recursive definition reached a context that requires pure NSC.
+    Recursive(String),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::Duplicate(n) => write!(f, "duplicate definition of `{n}`"),
+            ModuleError::Unknown(n) => write!(f, "unknown function `{n}`"),
+            ModuleError::Type { def, err } => write!(f, "in `{def}`: {err}"),
+            ModuleError::OpenDefinition { def, var } => {
+                write!(f, "in `{def}`: unbound variable `{var}` (definitions must be closed)")
+            }
+            ModuleError::InliningTooDeep(def) => write!(
+                f,
+                "inlining `{def}` nests more than {} levels; restructure the \
+                 definition chain",
+                super::term::MAX_DEPTH
+            ),
+            ModuleError::InliningTooLarge(def) => write!(
+                f,
+                "inlining `{def}` expands past {MAX_INLINE_NODES} AST nodes; \
+                 the definition call graph multiplies out exponentially"
+            ),
+            ModuleError::CodomainMismatch {
+                def,
+                declared,
+                found,
+            } => write!(
+                f,
+                "in `{def}`: declared codomain {declared} but the body returns {found}"
+            ),
+            ModuleError::Recursive(n) => write!(
+                f,
+                "`{n}` is recursive; the Theorem 7.1 compiler needs pure NSC \
+                 (run it through the Theorem 4.2 translation first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+impl Module {
+    /// Looks up a definition by name.
+    pub fn get(&self, name: &str) -> Option<&Def> {
+        self.defs.iter().find(|d| &*d.name == name)
+    }
+
+    /// The signature table for the type checker.
+    pub fn sig_table(&self) -> SigTable {
+        self.defs
+            .iter()
+            .map(|d| (d.name.clone(), (d.dom.clone(), d.cod.clone())))
+            .collect()
+    }
+
+    /// The function table for the recursion-extended evaluator.
+    pub fn func_table(&self) -> FuncTable {
+        let mut t = FuncTable::new();
+        for d in &self.defs {
+            t.insert(FuncDef {
+                name: d.name.clone(),
+                dom: d.dom.clone(),
+                cod: d.cod.clone(),
+                body: d.func.clone(),
+            });
+        }
+        t
+    }
+
+    /// Type checks every definition against its declared signature.
+    pub fn check(&self) -> Result<(), ModuleError> {
+        // parse_module already rejects duplicates, but a Module is plain
+        // data — guard hand-assembled ones too (a duplicate would make
+        // name resolution depend on definition order).
+        for (i, d) in self.defs.iter().enumerate() {
+            if self.defs[..i].iter().any(|e| e.name == d.name) {
+                return Err(ModuleError::Duplicate(d.name.to_string()));
+            }
+        }
+        let sigs = self.sig_table();
+        for d in &self.defs {
+            let cod = check_func(&TypeCtx::empty(), &sigs, &d.func, &d.dom).map_err(|err| {
+                ModuleError::Type {
+                    def: d.name.to_string(),
+                    err,
+                }
+            })?;
+            if cod != d.cod {
+                return Err(ModuleError::CodomainMismatch {
+                    def: d.name.to_string(),
+                    declared: d.cod.clone(),
+                    found: cod,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves `name` to a *pure* NSC function by inlining every named
+    /// reference.  Mutual or self recursion is an error — the compiler
+    /// pipeline cannot consume it.
+    ///
+    /// Substituting a body under foreign binders is only capture-safe for
+    /// *closed* definitions, so open definitions are rejected here too
+    /// (not just by [`Module::check`]) — a caller that skips the type
+    /// checker must get an error, never a silently capture-rebound
+    /// program.
+    pub fn inlined(&self, name: &str) -> Result<Func, ModuleError> {
+        let def = self
+            .get(name)
+            .ok_or_else(|| ModuleError::Unknown(name.to_string()))?;
+        require_closed(def)?;
+        let mut inliner = Inliner {
+            module: self,
+            stack: vec![def.name.clone()],
+            memo: HashMap::new(),
+            depth: 0,
+            max_depth: 0,
+            spent: 0,
+            entry: def.name.to_string(),
+        };
+        inliner.func(&def.func).map_err(|e| *e)
+    }
+}
+
+/// Ceiling on the *logical* (tree-walk) size of an inlined program.
+///
+/// Every real fixture is orders of magnitude below this (the translated
+/// Valiant mergesort is ~4k nodes); what it stops is exponential
+/// call-graph expansion hanging the compiler.
+pub const MAX_INLINE_NODES: u64 = 10_000_000;
+
+fn require_closed(def: &Def) -> Result<(), ModuleError> {
+    match def.func.fv().iter().next() {
+        None => Ok(()),
+        Some(var) => Err(ModuleError::OpenDefinition {
+            def: def.name.to_string(),
+            var: var.to_string(),
+        }),
+    }
+}
+
+/// The inlining walk.  Two guards keep adversarial modules from taking the
+/// process down the way a plain recursive substitution would:
+///
+/// * **depth** — the walk's recursion tracks the nesting of the *output*
+///   program, which chains of definitions compose multiplicatively past
+///   any single definition's parser-enforced bound; past
+///   [`super::term::MAX_DEPTH`] it returns [`ModuleError::InliningTooDeep`]
+///   instead of overflowing the stack.
+/// * **memo** — a definition is inlined once and the result (`Rc`-shared)
+///   reused at every later call site; without this a diamond-shaped call
+///   graph of `n` two-call definitions costs `2^n` substitutions.
+struct Inliner<'a> {
+    module: &'a Module,
+    stack: Vec<Ident>,
+    /// name → (inlined function, logical node count, subtree nesting depth).
+    ///
+    /// Size *and* depth travel with the memo entry: a memo hit at depth `d`
+    /// splices in a subtree nesting `sub` further levels, and the output
+    /// bound must hold for `d + sub` even though the walk does not descend
+    /// into the cached value again.
+    memo: HashMap<Ident, (Func, u64, usize)>,
+    depth: usize,
+    /// Deepest output nesting reached (`depth`, plus memo-hit extensions).
+    max_depth: usize,
+    /// Logical nodes materialized so far (memo hits count at full size —
+    /// this measures what the downstream tree walks will pay).
+    spent: u64,
+    entry: String,
+}
+
+impl Inliner<'_> {
+    fn enter(&mut self) -> Result<(), Box<ModuleError>> {
+        self.depth += 1;
+        self.at_depth(self.depth)?;
+        self.spend(1)
+    }
+
+    /// Records that the output program nests to `d` and enforces the bound.
+    fn at_depth(&mut self, d: usize) -> Result<(), Box<ModuleError>> {
+        self.max_depth = self.max_depth.max(d);
+        if d > super::term::MAX_DEPTH {
+            return Err(Box::new(ModuleError::InliningTooDeep(self.entry.clone())));
+        }
+        Ok(())
+    }
+
+    fn spend(&mut self, nodes: u64) -> Result<(), Box<ModuleError>> {
+        self.spent = self.spent.saturating_add(nodes);
+        if self.spent > MAX_INLINE_NODES {
+            return Err(Box::new(ModuleError::InliningTooLarge(self.entry.clone())));
+        }
+        Ok(())
+    }
+
+    fn func(&mut self, f: &Func) -> Result<Func, Box<ModuleError>> {
+        self.enter()?;
+        let r = self.func_inner(f);
+        self.depth -= 1;
+        r
+    }
+
+    fn func_inner(&mut self, f: &Func) -> Result<Func, Box<ModuleError>> {
+        Ok(match f.kind() {
+            FuncK::Lambda(x, ann, body) => {
+                let body = self.term(body)?;
+                match ann {
+                    Some(t) => ast::lam_t(x, t.clone(), body),
+                    None => ast::lam(x, body),
+                }
+            }
+            FuncK::Map(g) => ast::map(self.func(g)?),
+            FuncK::While(p, g) => ast::while_(self.func(p)?, self.func(g)?),
+            FuncK::Named(n) => {
+                if let Some((done, size, sub_depth)) = self.memo.get(n) {
+                    let (done, size, sub_depth) = (done.clone(), *size, *sub_depth);
+                    // The cached subtree extends the output `sub_depth`
+                    // levels below this point without being re-walked.
+                    self.at_depth(self.depth + sub_depth)?;
+                    self.spend(size)?;
+                    return Ok(done);
+                }
+                if self.stack.contains(n) {
+                    return Err(Box::new(ModuleError::Recursive(n.to_string())));
+                }
+                let def = self
+                    .module
+                    .get(n)
+                    .ok_or_else(|| Box::new(ModuleError::Unknown(n.to_string())))?;
+                // Closedness makes substituting the body anywhere capture-
+                // safe; enforced, not assumed, since callers may skip
+                // check().
+                require_closed(def).map_err(Box::new)?;
+                self.stack.push(n.clone());
+                let (size_before, depth_here) = (self.spent, self.depth);
+                let max_before = std::mem::replace(&mut self.max_depth, self.depth);
+                let out = self.func(&def.func)?;
+                self.stack.pop();
+                let sub_depth = self.max_depth - depth_here;
+                self.max_depth = self.max_depth.max(max_before);
+                self.memo
+                    .insert(n.clone(), (out.clone(), self.spent - size_before, sub_depth));
+                out
+            }
+        })
+    }
+
+    fn term(&mut self, t: &Term) -> Result<Term, Box<ModuleError>> {
+        self.enter()?;
+        let r = self.term_inner(t);
+        self.depth -= 1;
+        r
+    }
+
+    fn term_inner(&mut self, t: &Term) -> Result<Term, Box<ModuleError>> {
+        Ok(match t.kind() {
+            TermK::Var(_) | TermK::Error(_) | TermK::Const(_) | TermK::Unit | TermK::Empty(_) => {
+                t.clone()
+            }
+            TermK::Arith(op, a, b) => ast::arith(*op, self.term(a)?, self.term(b)?),
+            TermK::Cmp(op, a, b) => {
+                let (a, b) = (self.term(a)?, self.term(b)?);
+                match op {
+                    crate::ast::CmpOp::Eq => ast::eq(a, b),
+                    crate::ast::CmpOp::Le => ast::le(a, b),
+                    crate::ast::CmpOp::Lt => ast::lt(a, b),
+                }
+            }
+            TermK::Pair(a, b) => ast::pair(self.term(a)?, self.term(b)?),
+            TermK::Proj1(a) => ast::fst(self.term(a)?),
+            TermK::Proj2(a) => ast::snd(self.term(a)?),
+            TermK::Inl(a, ty) => ast::inl(self.term(a)?, ty.clone()),
+            TermK::Inr(a, ty) => ast::inr(self.term(a)?, ty.clone()),
+            TermK::Case(s, x, n, y, p) => {
+                ast::case(self.term(s)?, x, self.term(n)?, y, self.term(p)?)
+            }
+            TermK::Apply(f, a) => ast::app(self.func(f)?, self.term(a)?),
+            TermK::Singleton(a) => ast::singleton(self.term(a)?),
+            TermK::Append(a, b) => ast::append(self.term(a)?, self.term(b)?),
+            TermK::Flatten(a) => ast::flatten(self.term(a)?),
+            TermK::Length(a) => ast::length(self.term(a)?),
+            TermK::Get(a) => ast::get(self.term(a)?),
+            TermK::Zip(a, b) => ast::zip(self.term(a)?, self.term(b)?),
+            TermK::Enumerate(a) => ast::enumerate(self.term(a)?),
+            TermK::Split(a, b) => ast::split(self.term(a)?, self.term(b)?),
+        })
+    }
+}
+
+/// Parses a `.nsc` module source.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut c = Cursor::new(src)?;
+    let mut module = Module::default();
+    loop {
+        if c.at_kw("fn") {
+            c.expect_kw("fn", "definition")?;
+            let name = c.expect_ident("function")?;
+            if module.get(&name).is_some() {
+                return Err(c.err_prev(format!("duplicate definition of `{name}`")));
+            }
+            c.expect(Tok::Colon, "definition signature")?;
+            let dom = c.type_()?;
+            c.expect(Tok::Arrow, "definition signature")?;
+            let cod = c.type_()?;
+            c.expect(Tok::Equals, "definition")?;
+            let func = c.func()?;
+            module.defs.push(Def {
+                name: ast::ident(&name),
+                dom,
+                cod,
+                func,
+            });
+        } else if c.at_kw("input") {
+            c.expect_kw("input", "input directive")?;
+            if module.input.is_some() {
+                return Err(c.err_prev("duplicate `input` directive"));
+            }
+            module.input = Some(super::value::value(&mut c)?);
+        } else if *c.peek() == Tok::Eof {
+            break;
+        } else {
+            return Err(c.err(format!(
+                "expected `fn` or `input` at top level, found {}",
+                c.peek().describe()
+            )));
+        }
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+
+    const SRC: &str = "
+        -- a tiny module
+        fn double : [N] -> [N] = map((\\x. (x * 2)))
+        fn main : [N] -> [N] = (\\xs. double(double(xs)))
+        input [1, 2, 3]
+    ";
+
+    #[test]
+    fn parses_defs_and_input() {
+        let m = parse_module(SRC).unwrap();
+        assert_eq!(m.defs.len(), 2);
+        assert_eq!(&*m.defs[0].name, "double");
+        assert_eq!(m.input, Some(Value::nat_seq([1, 2, 3])));
+        m.check().unwrap();
+    }
+
+    #[test]
+    fn evaluates_through_the_func_table() {
+        let m = parse_module(SRC).unwrap();
+        let table = m.func_table();
+        let main = &m.get("main").unwrap().func;
+        let (v, _) = Evaluator::new(&table)
+            .apply_closed(main, m.input.clone().unwrap())
+            .unwrap();
+        assert_eq!(v, Value::nat_seq([4, 8, 12]));
+    }
+
+    #[test]
+    fn inlining_produces_pure_nsc() {
+        let m = parse_module(SRC).unwrap();
+        let pure = m.inlined("main").unwrap();
+        assert!(pure.fv().is_empty());
+        // No Named nodes remain: the pure evaluator (empty table) accepts it.
+        let (v, _) = crate::eval::apply_func(&pure, Value::nat_seq([5])).unwrap();
+        assert_eq!(v, Value::nat_seq([20]));
+    }
+
+    #[test]
+    fn recursion_is_reported_when_inlining() {
+        let m = parse_module(
+            "fn f : N -> N = (\\x. if (x = 0) then 0 else f((x -. 1)))",
+        )
+        .unwrap();
+        m.check().unwrap();
+        assert_eq!(m.inlined("f").unwrap_err(), ModuleError::Recursive("f".into()));
+    }
+
+    #[test]
+    fn inlining_an_open_definition_errors_instead_of_capturing() {
+        // `f` leaks a free `x`; inlining it under g's `\x` binder would
+        // silently capture-rebind it.  inlined() must refuse even when the
+        // caller never ran check().
+        let m = parse_module(
+            "fn f : N -> N = (\\y. x) fn g : N -> N = (\\x. f(x))",
+        )
+        .unwrap();
+        assert_eq!(
+            m.inlined("g").unwrap_err(),
+            ModuleError::OpenDefinition {
+                def: "f".into(),
+                var: "x".into()
+            }
+        );
+        assert!(matches!(
+            m.inlined("f").unwrap_err(),
+            ModuleError::OpenDefinition { .. }
+        ));
+    }
+
+    #[test]
+    fn chained_definitions_past_the_depth_cap_error_instead_of_overflowing() {
+        // Each definition is far below the parser's per-term cap, but the
+        // chain composes their depths; inlined() must reject, not crash.
+        let per_def = 20usize;
+        let defs = 60usize; // 60 * ~21 > MAX_DEPTH = 256
+        let mut src = String::new();
+        for i in 0..defs {
+            let call = if i + 1 == defs {
+                "x".to_string()
+            } else {
+                format!("f{}(x)", i + 1)
+            };
+            let body = format!(
+                "({}{}{})",
+                "fst(".repeat(per_def),
+                call,
+                ")".repeat(per_def)
+            );
+            // Un-typeable (fst of N) but inlining is untyped; that is the
+            // point — the guard must not rely on check() running first.
+            src.push_str(&format!("fn f{i} : N -> N = (\\x. {body}) "));
+        }
+        let m = parse_module(&src).unwrap();
+        assert_eq!(
+            m.inlined("f0").unwrap_err(),
+            ModuleError::InliningTooDeep("f0".into())
+        );
+    }
+
+    #[test]
+    fn memo_hits_still_count_toward_the_depth_bound() {
+        // Each h_{i+1} references h_i twice: once shallow (first textual
+        // occurrence, which populates the memo) and once at the bottom of
+        // a deep nest.  The memo hit splices the whole cached subtree in
+        // without re-walking it, so depth accounting must use the cached
+        // subtree depth or the output silently exceeds MAX_DEPTH.
+        let per = 30usize;
+        let defs = 13usize; // composes to ~13 * 60 output nesting
+        let mut src = String::from("fn h0 : N -> N = (\\x. (x + 1)) ");
+        for i in 1..defs {
+            let deep = format!(
+                "({}h{}(x){})",
+                "fst((".repeat(per),
+                i - 1,
+                ", 0))".repeat(per)
+            );
+            src.push_str(&format!(
+                "fn h{i} : N -> N = (\\x. (h{}(x) + {deep})) ",
+                i - 1
+            ));
+        }
+        let m = parse_module(&src).unwrap();
+        assert_eq!(
+            m.inlined(&format!("h{}", defs - 1)).unwrap_err(),
+            ModuleError::InliningTooDeep(format!("h{}", defs - 1))
+        );
+        // A short chain of the same shape stays within bounds.
+        let ok = m.inlined("h2").unwrap();
+        assert!(ok.fv().is_empty());
+    }
+
+    #[test]
+    fn check_rejects_hand_assembled_duplicates() {
+        use crate::ast::{ident, lam, var};
+        let d = |name: &str| Def {
+            name: ident(name),
+            dom: Type::Nat,
+            cod: Type::Nat,
+            func: lam("x", var("x")),
+        };
+        let m = Module {
+            defs: vec![d("f"), d("f")],
+            input: None,
+        };
+        assert_eq!(m.check().unwrap_err(), ModuleError::Duplicate("f".into()));
+    }
+
+    fn diamond(n: usize) -> Module {
+        // g_i calls g_{i+1} twice, so full expansion is ~2^n nodes.
+        let mut src = String::new();
+        for i in 0..n {
+            let body = if i + 1 == n {
+                "(x + 1)".to_string()
+            } else {
+                format!("(g{j}(x) + g{j}(x))", j = i + 1)
+            };
+            src.push_str(&format!("fn g{i} : N -> N = (\\x. {body}) "));
+        }
+        let m = parse_module(&src).unwrap();
+        m.check().unwrap();
+        m
+    }
+
+    #[test]
+    fn moderate_diamond_call_graphs_inline_quickly() {
+        let m = diamond(15); // ~2^15 * c nodes, inside the budget
+        let start = std::time::Instant::now();
+        let inlined = m.inlined("g0").unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "inlining a diamond call graph must not be exponential"
+        );
+        assert!(inlined.fv().is_empty());
+    }
+
+    #[test]
+    fn exponential_diamond_expansion_errors_instead_of_hanging() {
+        // 2^40-node logical expansion: later stages walk inlined programs
+        // as trees, so this must be rejected *during* inlining — and fast,
+        // which is itself the proof the memo'd size accounting works (a
+        // naive substitution would churn for hours before any check).
+        let m = diamond(40);
+        let start = std::time::Instant::now();
+        assert_eq!(
+            m.inlined("g0").unwrap_err(),
+            ModuleError::InliningTooLarge("g0".into())
+        );
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn codomain_mismatch_is_reported() {
+        let m = parse_module("fn f : N -> B = (\\x. x)").unwrap();
+        assert!(matches!(
+            m.check().unwrap_err(),
+            ModuleError::CodomainMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let m = parse_module("fn f : N -> N = (\\x. g(x))").unwrap();
+        assert!(matches!(m.check().unwrap_err(), ModuleError::Type { .. }));
+        let m2 = parse_module("fn f : N -> N = g").unwrap();
+        assert_eq!(m2.inlined("g2").unwrap_err(), ModuleError::Unknown("g2".into()));
+    }
+}

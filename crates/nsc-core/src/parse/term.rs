@@ -1,0 +1,690 @@
+//! Recursive-descent parser for NSC terms, functions, and types.
+//!
+//! The grammar accepts exactly the notation [`crate::pretty`] emits —
+//! binary operations are always parenthesized (`(a + b)`), `case` is
+//! parenthesized, and `inl`/`inr`/`[]`/`omega` carry type annotations — so
+//! the round-trip law `parse(pretty(f)) == f` holds syntactically, with no
+//! type checker in the loop.  On top of the printable core the parser
+//! accepts two pieces of sugar the printer never emits (both desugar to the
+//! exact combinator ASTs of [`crate::ast`]):
+//!
+//! * `let x = M in N` for `(\x. N)(M)`;
+//! * `if C then M else N` for `(case C of inl(__if_t) => M | inr(__if_f) => N)`.
+
+use super::lex::{lex, Tok, Token};
+use super::ParseError;
+use crate::ast::{self, ArithOp, Func, Term};
+use crate::types::Type;
+
+/// Words that cannot be used as variable, binder, or function names.
+pub const KEYWORDS: &[&str] = &[
+    "case", "of", "inl", "inr", "fst", "snd", "flatten", "length", "get", "zip", "enumerate",
+    "split", "map", "while", "omega", "true", "false", "min", "max", "log2", "let", "in", "if",
+    "then", "else", "fn", "input", "unit", "N", "B",
+];
+
+/// True iff `s` is a reserved word of the surface syntax.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Maximum nesting depth the parser accepts.
+///
+/// Recursive descent recurses on nesting, so without a cap an adversarial
+/// input (`fst(fst(fst(…`) overflows the stack and *aborts the process*
+/// instead of returning an error — the exact failure mode this front end
+/// exists to eliminate.  Real programs are nowhere close: the printed
+/// Theorem 4.2 translation of Valiant's mergesort (the deepest AST in the
+/// repo) nests 93 levels.  The cap must also leave the recursion of the
+/// parser — and of the [`crate::parse::program`] inliner, whose debug
+/// frames are several KiB per level — comfortably inside a 2 MiB
+/// test-thread stack.
+pub const MAX_DEPTH: usize = 256;
+
+/// A token cursor shared by the term, module, and value parsers.
+pub(super) struct Cursor {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Index of the token the last `next()` consumed (for `err_prev`).
+    last: usize,
+    depth: usize,
+}
+
+impl Cursor {
+    pub(super) fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Cursor {
+            toks: lex(src)?,
+            pos: 0,
+            last: 0,
+            depth: 0,
+        })
+    }
+
+    /// Guards every recursive production; pair with [`Cursor::leave`].
+    pub(super) fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!(
+                "program is nested more than {MAX_DEPTH} levels deep"
+            )));
+        }
+        Ok(())
+    }
+
+    pub(super) fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    pub(super) fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    pub(super) fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        self.last = self.pos;
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// An error positioned at the current token.
+    pub(super) fn err(&self, msg: impl Into<String>) -> ParseError {
+        let t = &self.toks[self.pos];
+        ParseError::at(t.line, t.col, msg)
+    }
+
+    pub(super) fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {} in {what}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    /// Consumes the given keyword.
+    pub(super) fn expect_kw(&mut self, kw: &str, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err(format!(
+                "expected `{kw}` in {what}, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Consumes a non-keyword identifier.
+    pub(super) fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if !is_keyword(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            Tok::Ident(s) => Err(self.err(format!(
+                "`{s}` is a reserved word and cannot name a {what}"
+            ))),
+            other => Err(self.err(format!("expected a {what} name, found {}", other.describe()))),
+        }
+    }
+
+    /// True iff the next token is the given keyword.
+    pub(super) fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    pub(super) fn expect_eof(&self) -> Result<(), ParseError> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of input, found {}", self.peek().describe())))
+        }
+    }
+
+    // -- types -------------------------------------------------------------
+
+    /// `type := unit | N | B | [type] | (type x type) | (type + type)`
+    pub(super) fn type_(&mut self) -> Result<Type, ParseError> {
+        self.enter()?;
+        let t = self.type_inner();
+        self.leave();
+        t
+    }
+
+    fn type_inner(&mut self) -> Result<Type, ParseError> {
+        match self.next() {
+            Tok::Ident(s) if s == "unit" => Ok(Type::Unit),
+            Tok::Ident(s) if s == "N" => Ok(Type::Nat),
+            Tok::Ident(s) if s == "B" => Ok(Type::bool_()),
+            Tok::LBracket => {
+                let t = self.type_()?;
+                self.expect(Tok::RBracket, "sequence type")?;
+                Ok(Type::seq(t))
+            }
+            Tok::LParen => {
+                let a = self.type_()?;
+                let mk = match self.next() {
+                    Tok::Ident(s) if s == "x" => Type::prod,
+                    Tok::Plus => Type::sum,
+                    other => {
+                        // self.pos already advanced; report on the consumed token
+                        return Err(self.err_prev(format!(
+                            "expected `x` or `+` in a compound type, found {}",
+                            other.describe()
+                        )));
+                    }
+                };
+                let b = self.type_()?;
+                self.expect(Tok::RParen, "compound type")?;
+                Ok(mk(a, b))
+            }
+            other => Err(self.err_prev(format!(
+                "expected a type (`unit`, `N`, `B`, `[t]`, `(s x t)`, `(s + t)`), found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Like [`Cursor::err`] but positioned at the token the last `next()`
+    /// consumed (used right after it consumed the offender).  Tracking the
+    /// consumed index — rather than `pos - 1` — keeps the position honest
+    /// at end of input, where `next()` yields `Eof` without advancing.
+    pub(super) fn err_prev(&self, msg: impl Into<String>) -> ParseError {
+        let t = &self.toks[self.last];
+        ParseError::at(t.line, t.col, msg)
+    }
+
+    // -- terms -------------------------------------------------------------
+
+    /// Parses one term.
+    pub(super) fn term(&mut self) -> Result<Term, ParseError> {
+        self.enter()?;
+        let t = self.term_inner();
+        self.leave();
+        t
+    }
+
+    fn term_inner(&mut self) -> Result<Term, ParseError> {
+        match self.peek().clone() {
+            Tok::Nat(n) => {
+                self.next();
+                Ok(ast::nat(n))
+            }
+            Tok::LBracket => {
+                self.next();
+                if *self.peek() == Tok::RBracket {
+                    self.next();
+                    self.expect(Tok::Colon, "empty-sequence annotation `[]:t`")?;
+                    let t = self.type_()?;
+                    Ok(ast::empty(t))
+                } else {
+                    let m = self.term()?;
+                    self.expect(Tok::RBracket, "singleton sequence")?;
+                    Ok(ast::singleton(m))
+                }
+            }
+            Tok::LParen => self.paren_term(),
+            Tok::Ident(word) => self.word_term(&word),
+            other => Err(self.err(format!("expected a term, found {}", other.describe()))),
+        }
+    }
+
+    /// Terms starting with `(`: unit, grouping, pair, binary operation,
+    /// lambda application, or a parenthesized `case`.
+    fn paren_term(&mut self) -> Result<Term, ParseError> {
+        self.expect(Tok::LParen, "term")?;
+        match self.peek() {
+            Tok::RParen => {
+                self.next();
+                Ok(ast::unit())
+            }
+            Tok::Backslash => {
+                let f = self.lambda_tail()?;
+                self.apply(f)
+            }
+            Tok::Ident(s) if s == "case" => {
+                let t = self.case_body()?;
+                self.expect(Tok::RParen, "case term")?;
+                Ok(t)
+            }
+            _ => {
+                let a = self.term()?;
+                match self.next() {
+                    Tok::RParen => Ok(a),
+                    Tok::Comma => {
+                        let b = self.term()?;
+                        self.expect(Tok::RParen, "pair")?;
+                        Ok(ast::pair(a, b))
+                    }
+                    op => {
+                        let mk: fn(Term, Term) -> Term = match op {
+                            Tok::Plus => |a, b| ast::arith(ArithOp::Add, a, b),
+                            Tok::Monus => |a, b| ast::arith(ArithOp::Monus, a, b),
+                            Tok::Star => |a, b| ast::arith(ArithOp::Mul, a, b),
+                            Tok::Slash => |a, b| ast::arith(ArithOp::Div, a, b),
+                            Tok::Percent => |a, b| ast::arith(ArithOp::Mod, a, b),
+                            Tok::Shr => |a, b| ast::arith(ArithOp::Rshift, a, b),
+                            Tok::Shl => |a, b| ast::arith(ArithOp::Lshift, a, b),
+                            Tok::Ident(s) if s == "min" => |a, b| ast::arith(ArithOp::Min, a, b),
+                            Tok::Ident(s) if s == "max" => |a, b| ast::arith(ArithOp::Max, a, b),
+                            Tok::Ident(s) if s == "log2" => |a, b| ast::arith(ArithOp::Log2, a, b),
+                            Tok::Equals => |a, b| ast::eq(a, b),
+                            Tok::Le => |a, b| ast::le(a, b),
+                            Tok::Lt => |a, b| ast::lt(a, b),
+                            Tok::At => ast::append,
+                            other => {
+                                return Err(self.err_prev(format!(
+                                    "expected `)`, `,`, or a binary operator after a term, \
+                                     found {}",
+                                    other.describe()
+                                )));
+                            }
+                        };
+                        let b = self.term()?;
+                        self.expect(Tok::RParen, "binary operation")?;
+                        Ok(mk(a, b))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Terms starting with an identifier or keyword.
+    fn word_term(&mut self, word: &str) -> Result<Term, ParseError> {
+        match word {
+            "true" => {
+                self.next();
+                Ok(ast::tt())
+            }
+            "false" => {
+                self.next();
+                Ok(ast::ff())
+            }
+            "omega" => {
+                self.next();
+                self.expect(Tok::Colon, "`omega:t`")?;
+                Ok(ast::omega(self.type_()?))
+            }
+            "fst" => self.unary(ast::fst),
+            "snd" => self.unary(ast::snd),
+            "flatten" => self.unary(ast::flatten),
+            "length" => self.unary(ast::length),
+            "get" => self.unary(ast::get),
+            "enumerate" => self.unary(ast::enumerate),
+            "zip" => self.binary(ast::zip),
+            "split" => self.binary(ast::split),
+            "inl" => self.injection(true),
+            "inr" => self.injection(false),
+            "case" => self.case_term(),
+            "let" => self.let_term(),
+            "if" => self.if_term(),
+            "map" | "while" => {
+                let f = self.func()?;
+                self.apply(f)
+            }
+            _ => {
+                let name = self.expect_ident("variable or function")?;
+                if *self.peek() == Tok::LParen {
+                    self.apply(ast::named(&name))
+                } else {
+                    Ok(ast::var(&name))
+                }
+            }
+        }
+    }
+
+    /// `kw(M)` primitives.
+    fn unary(&mut self, mk: fn(Term) -> Term) -> Result<Term, ParseError> {
+        let Tok::Ident(kw) = self.next() else { unreachable!() };
+        self.expect(Tok::LParen, &kw)?;
+        let m = self.term()?;
+        self.expect(Tok::RParen, &kw)?;
+        Ok(mk(m))
+    }
+
+    /// `kw(M, N)` primitives.
+    fn binary(&mut self, mk: fn(Term, Term) -> Term) -> Result<Term, ParseError> {
+        let Tok::Ident(kw) = self.next() else { unreachable!() };
+        self.expect(Tok::LParen, &kw)?;
+        let a = self.term()?;
+        self.expect(Tok::Comma, &kw)?;
+        let b = self.term()?;
+        self.expect(Tok::RParen, &kw)?;
+        Ok(mk(a, b))
+    }
+
+    /// `inl:t(M)` / `inr:t(M)` — the annotation is the type of the *other*
+    /// summand, exactly what the AST stores.
+    fn injection(&mut self, left: bool) -> Result<Term, ParseError> {
+        self.next();
+        let which = if left { "inl" } else { "inr" };
+        self.expect(
+            Tok::Colon,
+            &format!("`{which}:t(M)` (the annotation is the other summand's type)"),
+        )?;
+        let t = self.type_()?;
+        self.expect(Tok::LParen, which)?;
+        let m = self.term()?;
+        self.expect(Tok::RParen, which)?;
+        Ok(if left { ast::inl(m, t) } else { ast::inr(m, t) })
+    }
+
+    /// A bare (unparenthesized) `case`, accepted for convenience.
+    fn case_term(&mut self) -> Result<Term, ParseError> {
+        self.case_body()
+    }
+
+    /// `case M of inl(x) => N | inr(y) => P` (caller handles any parens).
+    fn case_body(&mut self) -> Result<Term, ParseError> {
+        self.expect_kw("case", "case")?;
+        let m = self.term()?;
+        self.expect_kw("of", "case")?;
+        self.expect_kw("inl", "case left arm")?;
+        self.expect(Tok::LParen, "case left binder")?;
+        let x = self.expect_ident("case binder")?;
+        self.expect(Tok::RParen, "case left binder")?;
+        self.expect(Tok::FatArrow, "case left arm")?;
+        let n = self.term()?;
+        self.expect(Tok::Bar, "case")?;
+        self.expect_kw("inr", "case right arm")?;
+        self.expect(Tok::LParen, "case right binder")?;
+        let y = self.expect_ident("case binder")?;
+        self.expect(Tok::RParen, "case right binder")?;
+        self.expect(Tok::FatArrow, "case right arm")?;
+        let p = self.term()?;
+        Ok(ast::case(m, &x, n, &y, p))
+    }
+
+    /// `let x = M in N`, sugar for `(\x. N)(M)`.
+    fn let_term(&mut self) -> Result<Term, ParseError> {
+        self.expect_kw("let", "let")?;
+        let x = self.expect_ident("let binder")?;
+        self.expect(Tok::Equals, "let")?;
+        let m = self.term()?;
+        self.expect_kw("in", "let")?;
+        let n = self.term()?;
+        Ok(ast::let_in(&x, m, n))
+    }
+
+    /// `if C then M else N`, sugar for the section-3 derived conditional.
+    fn if_term(&mut self) -> Result<Term, ParseError> {
+        self.expect_kw("if", "if")?;
+        let c = self.term()?;
+        self.expect_kw("then", "if")?;
+        let t = self.term()?;
+        self.expect_kw("else", "if")?;
+        let e = self.term()?;
+        Ok(ast::cond(c, t, e))
+    }
+
+    /// Applies a parsed function to its `(argument)`.
+    fn apply(&mut self, f: Func) -> Result<Term, ParseError> {
+        self.expect(Tok::LParen, "function application")?;
+        let m = self.term()?;
+        self.expect(Tok::RParen, "function application")?;
+        Ok(ast::app(f, m))
+    }
+
+    // -- functions ---------------------------------------------------------
+
+    /// `func := (\x. M) | (\x:t. M) | map(func) | while(func, func) | name`
+    pub(super) fn func(&mut self) -> Result<Func, ParseError> {
+        self.enter()?;
+        let f = self.func_inner();
+        self.leave();
+        f
+    }
+
+    fn func_inner(&mut self) -> Result<Func, ParseError> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.next();
+                if *self.peek() != Tok::Backslash {
+                    return Err(self.err(format!(
+                        "expected `\\` to start a lambda, found {}",
+                        self.peek().describe()
+                    )));
+                }
+                self.lambda_tail()
+            }
+            Tok::Ident(s) if s == "map" => {
+                self.next();
+                self.expect(Tok::LParen, "map")?;
+                let f = self.func()?;
+                self.expect(Tok::RParen, "map")?;
+                Ok(ast::map(f))
+            }
+            Tok::Ident(s) if s == "while" => {
+                self.next();
+                self.expect(Tok::LParen, "while")?;
+                let p = self.func()?;
+                self.expect(Tok::Comma, "while")?;
+                let f = self.func()?;
+                self.expect(Tok::RParen, "while")?;
+                Ok(ast::while_(p, f))
+            }
+            Tok::Ident(_) => {
+                let name = self.expect_ident("function")?;
+                Ok(ast::named(&name))
+            }
+            other => Err(self.err(format!(
+                "expected a function (lambda, `map`, `while`, or a name), found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Parses `\x[:t]. M)` — the cursor sits on the `\`, the opening `(` is
+    /// already consumed.
+    fn lambda_tail(&mut self) -> Result<Func, ParseError> {
+        self.expect(Tok::Backslash, "lambda")?;
+        let x = self.expect_ident("lambda binder")?;
+        let ann = if *self.peek() == Tok::Colon {
+            self.next();
+            Some(self.type_()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Dot, "lambda")?;
+        let body = self.term()?;
+        self.expect(Tok::RParen, "lambda")?;
+        Ok(match ann {
+            Some(t) => ast::lam_t(&x, t, body),
+            None => ast::lam(&x, body),
+        })
+    }
+}
+
+/// Parses a complete term (the whole input must be consumed).
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let mut c = Cursor::new(src)?;
+    let t = c.term()?;
+    c.expect_eof()?;
+    Ok(t)
+}
+
+/// Parses a complete function (the whole input must be consumed).
+pub fn parse_func(src: &str) -> Result<Func, ParseError> {
+    let mut c = Cursor::new(src)?;
+    let f = c.func()?;
+    c.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a complete type (the whole input must be consumed).
+pub fn parse_type(src: &str) -> Result<Type, ParseError> {
+    let mut c = Cursor::new(src)?;
+    let t = c.type_()?;
+    c.expect_eof()?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn roundtrip_t(t: &Term) {
+        let printed = t.to_string();
+        let back = parse_term(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        assert_eq!(&back, t, "round-trip changed the term: {printed}");
+    }
+
+    fn roundtrip_f(f: &Func) {
+        let printed = f.to_string();
+        let back = parse_func(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        assert_eq!(&back, f, "round-trip changed the function: {printed}");
+    }
+
+    #[test]
+    fn parses_every_term_form() {
+        roundtrip_t(&nat(42));
+        roundtrip_t(&var("x"));
+        roundtrip_t(&unit());
+        roundtrip_t(&tt());
+        roundtrip_t(&ff());
+        roundtrip_t(&omega(Type::seq(Type::Nat)));
+        roundtrip_t(&add(nat(1), mul(var("a"), var("b"))));
+        roundtrip_t(&monus(nat(3), nat(1)));
+        roundtrip_t(&arith(ArithOp::Min, nat(1), nat(2)));
+        roundtrip_t(&arith(ArithOp::Log2, var("n"), nat(0)));
+        roundtrip_t(&le(nat(1), nat(2)));
+        roundtrip_t(&eq(var("m"), var("n")));
+        roundtrip_t(&pair(nat(1), pair(var("x"), unit())));
+        roundtrip_t(&fst(snd(var("p"))));
+        roundtrip_t(&inl(nat(1), Type::bool_()));
+        roundtrip_t(&inr(pair(nat(1), nat(2)), Type::prod(Type::Unit, Type::Nat)));
+        roundtrip_t(&case(var("s"), "x", var("x"), "y", nat(0)));
+        roundtrip_t(&app(lam("x", add(var("x"), nat(1))), nat(41)));
+        roundtrip_t(&empty(Type::prod(Type::Nat, Type::seq(Type::Nat))));
+        roundtrip_t(&singleton(singleton(nat(7))));
+        roundtrip_t(&append(var("xs"), empty(Type::Nat)));
+        roundtrip_t(&flatten(var("xss")));
+        roundtrip_t(&length(var("xs")));
+        roundtrip_t(&get(var("xs")));
+        roundtrip_t(&zip(var("xs"), var("ys")));
+        roundtrip_t(&enumerate(var("xs")));
+        roundtrip_t(&split(var("xs"), var("ns")));
+    }
+
+    #[test]
+    fn parses_every_func_form() {
+        roundtrip_f(&lam("x", var("x")));
+        roundtrip_f(&lam_t("x", Type::seq(Type::Nat), length(var("x"))));
+        roundtrip_f(&map(lam("x", mul(var("x"), var("x")))));
+        roundtrip_f(&while_(
+            lam("x", lt(nat(0), var("x"))),
+            lam("x", rshift(var("x"), nat(1))),
+        ));
+        roundtrip_f(&map(map(named("f"))));
+        roundtrip_f(&named("mergesort"));
+    }
+
+    #[test]
+    fn named_application_parses() {
+        let t = parse_term("f((1, 2))").unwrap();
+        assert_eq!(t, app(named("f"), pair(nat(1), nat(2))));
+    }
+
+    #[test]
+    fn gensym_identifiers_parse() {
+        roundtrip_t(&app(lam("p#0", fst(var("p#0"))), pair(nat(1), nat(2))));
+    }
+
+    #[test]
+    fn let_sugar_desugars_to_application() {
+        let sugar = parse_term("let x = 5 in (x + x)").unwrap();
+        assert_eq!(sugar, let_in("x", nat(5), add(var("x"), var("x"))));
+    }
+
+    #[test]
+    fn if_sugar_desugars_to_case() {
+        let sugar = parse_term("if (x < 3) then 1 else 0").unwrap();
+        assert_eq!(sugar, cond(lt(var("x"), nat(3)), nat(1), nat(0)));
+    }
+
+    #[test]
+    fn nested_case_arms_attach_unambiguously() {
+        let inner = case(var("b"), "y", nat(1), "z", nat(2));
+        let outer = case(var("a"), "x", inner.clone(), "w", nat(3));
+        roundtrip_t(&outer);
+        // And the mirror nesting (inner case in the right arm).
+        let outer2 = case(var("a"), "x", nat(3), "w", inner);
+        roundtrip_t(&outer2);
+    }
+
+    #[test]
+    fn types_round_trip() {
+        for t in [
+            Type::Unit,
+            Type::Nat,
+            Type::bool_(),
+            Type::seq(Type::seq(Type::Nat)),
+            Type::prod(Type::Nat, Type::sum(Type::Unit, Type::seq(Type::Nat))),
+            Type::sum(Type::bool_(), Type::bool_()),
+        ] {
+            assert_eq!(parse_type(&t.to_string()).unwrap(), t, "{t}");
+        }
+    }
+
+    #[test]
+    fn keywords_cannot_be_variables() {
+        assert!(parse_term("while").is_err());
+        assert!(parse_term("(case + 1)").is_err());
+        assert!(parse_func("(\\case. 1)").is_err());
+    }
+
+    #[test]
+    fn empty_sequence_requires_annotation() {
+        let err = parse_term("[]").unwrap_err();
+        assert!(err.to_string().contains("[]:t"), "{err}");
+    }
+
+    #[test]
+    fn trailing_input_is_rejected()  {
+        assert!(parse_term("1 2").is_err());
+        assert!(parse_func("map((\\x. x)) extra").is_err());
+    }
+
+    #[test]
+    fn adversarial_nesting_errors_instead_of_overflowing_the_stack() {
+        // Far past MAX_DEPTH: must come back as a ParseError, not abort.
+        let deep = "fst(".repeat(super::MAX_DEPTH * 8);
+        let err = parse_term(&deep).unwrap_err();
+        assert!(err.to_string().contains("nested more than"), "{err}");
+        // Same guard on funcs, types, and values.
+        let deep_f = "map(".repeat(super::MAX_DEPTH * 8);
+        assert!(parse_func(&deep_f).is_err());
+        let deep_ty = "[".repeat(super::MAX_DEPTH * 8);
+        assert!(parse_type(&deep_ty).is_err());
+        let deep_v = "[".repeat(super::MAX_DEPTH * 8);
+        assert!(crate::parse::parse_value(&deep_v).is_err());
+        // Nesting well past any real program (see MAX_DEPTH docs: the
+        // deepest AST in the repo is 93 levels) still parses fine.
+        let ok = format!("{}0{}", "fst(".repeat(200), ")".repeat(200));
+        assert!(parse_term(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_positions_point_at_the_offender() {
+        // `case` itself is accepted (bare case head); the error is the `)`
+        // where the scrutinee term should start.
+        let err = parse_term("(1 +\n  case)").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 7));
+        let err = parse_term("(1 ! 2)").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 4));
+        // An error *at* end of input points at end of input, not at the
+        // token before it.
+        let err = parse_type("(N").unwrap_err();
+        assert!(err.msg.contains("end of input"), "{err}");
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+}

@@ -1,0 +1,116 @@
+//! Parser for S-object literals — the same notation `Value`'s `Display`
+//! prints, so values round-trip through the CLI:
+//!
+//! ```text
+//! value := 0 | 42 | () | true | false | (v, v) | [v, v, ...] | inl(v) | inr(v)
+//! ```
+
+use super::term::Cursor;
+use super::ParseError;
+use crate::parse::lex::Tok;
+use crate::value::Value;
+
+/// Parses one value literal at the cursor.
+pub(super) fn value(c: &mut Cursor) -> Result<Value, ParseError> {
+    c.enter()?;
+    let v = value_inner(c);
+    c.leave();
+    v
+}
+
+fn value_inner(c: &mut Cursor) -> Result<Value, ParseError> {
+    match c.peek().clone() {
+        Tok::Nat(n) => {
+            c.next();
+            Ok(Value::nat(n))
+        }
+        Tok::Ident(s) if s == "true" => {
+            c.next();
+            Ok(Value::bool_(true))
+        }
+        Tok::Ident(s) if s == "false" => {
+            c.next();
+            Ok(Value::bool_(false))
+        }
+        Tok::Ident(s) if s == "inl" || s == "inr" => {
+            c.next();
+            c.expect(Tok::LParen, "injection value")?;
+            let v = value(c)?;
+            c.expect(Tok::RParen, "injection value")?;
+            Ok(if s == "inl" { Value::inl(v) } else { Value::inr(v) })
+        }
+        Tok::LParen => {
+            c.next();
+            if *c.peek() == Tok::RParen {
+                c.next();
+                return Ok(Value::unit());
+            }
+            let a = value(c)?;
+            c.expect(Tok::Comma, "pair value")?;
+            let b = value(c)?;
+            c.expect(Tok::RParen, "pair value")?;
+            Ok(Value::pair(a, b))
+        }
+        Tok::LBracket => {
+            c.next();
+            let mut vs = Vec::new();
+            if *c.peek() != Tok::RBracket {
+                loop {
+                    vs.push(value(c)?);
+                    if *c.peek() == Tok::Comma {
+                        c.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            c.expect(Tok::RBracket, "sequence value")?;
+            Ok(Value::seq(vs))
+        }
+        other => Err(c.err(format!(
+            "expected a value (number, `()`, `true`, `false`, pair, sequence, `inl`, `inr`), \
+             found {}",
+            other.describe()
+        ))),
+    }
+}
+
+/// Parses a complete value literal (the whole input must be consumed).
+pub fn parse_value(src: &str) -> Result<Value, ParseError> {
+    let mut c = Cursor::new(src)?;
+    let v = value(&mut c)?;
+    c.expect_eof()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let printed = v.to_string();
+        assert_eq!(parse_value(&printed).unwrap(), v, "{printed}");
+    }
+
+    #[test]
+    fn values_round_trip_display() {
+        roundtrip(Value::nat(0));
+        roundtrip(Value::unit());
+        roundtrip(Value::bool_(true));
+        roundtrip(Value::bool_(false));
+        roundtrip(Value::pair(Value::nat(1), Value::pair(Value::unit(), Value::nat(2))));
+        roundtrip(Value::nat_seq(0..5));
+        roundtrip(Value::seq(vec![]));
+        roundtrip(Value::seq(vec![Value::nat_seq([1, 2]), Value::nat_seq([])]));
+        roundtrip(Value::inl(Value::nat(3)));
+        roundtrip(Value::inr(Value::seq(vec![Value::bool_(false)])));
+    }
+
+    #[test]
+    fn bad_values_error_with_position() {
+        let err = parse_value("[1, ]").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 5));
+        assert!(parse_value("(1)").is_err(), "a one-element tuple is not a value");
+        assert!(parse_value("[1 2]").is_err());
+    }
+}

@@ -3,9 +3,33 @@
 //! The output follows the paper's notation closely (`π₁` rendered as `fst`,
 //! `Ω` as `omega`, `@` for append) so printed programs can be read next to
 //! the paper's figures.
+//!
+//! The printed form is also the repo's **surface syntax**: the grammar in
+//! [`crate::parse`] accepts exactly this notation, and the round-trip law
+//! `parse(pretty(f)) == f` is enforced by property tests.  That law forces
+//! three choices that earlier versions of this printer got wrong:
+//!
+//! * `case` is parenthesized — `case a of … => case b of … | …` re-parsed
+//!   with the second `inr` arm attached to the *inner* case (the classic
+//!   dangling-else), silently changing the program;
+//! * `inl`/`inr`/`[]` carry their type annotation (`inl:t(M)`, `[]:t`) —
+//!   the un-annotated form printed two different ASTs identically;
+//! * the booleans `inl(()) : B`/`inr(()) : B` print as `true`/`false`,
+//!   which keeps the annotated form readable where it matters most.
 
 use crate::ast::{Func, FuncK, Term, TermK};
+use crate::types::Type;
 use std::fmt;
+
+/// True iff the term is the canonical `true = inl:unit(())`.
+fn is_true(t: &TermK) -> bool {
+    matches!(t, TermK::Inl(a, Type::Unit) if matches!(a.kind(), TermK::Unit))
+}
+
+/// True iff the term is the canonical `false = inr:unit(())`.
+fn is_false(t: &TermK) -> bool {
+    matches!(t, TermK::Inr(a, Type::Unit) if matches!(a.kind(), TermK::Unit))
+}
 
 pub(crate) fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match t.kind() {
@@ -18,13 +42,25 @@ pub(crate) fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         TermK::Pair(a, b) => write!(f, "({a}, {b})"),
         TermK::Proj1(a) => write!(f, "fst({a})"),
         TermK::Proj2(a) => write!(f, "snd({a})"),
-        TermK::Inl(a, _) => write!(f, "inl({a})"),
-        TermK::Inr(a, _) => write!(f, "inr({a})"),
+        k @ TermK::Inl(a, right) => {
+            if is_true(k) {
+                write!(f, "true")
+            } else {
+                write!(f, "inl:{right}({a})")
+            }
+        }
+        k @ TermK::Inr(a, left) => {
+            if is_false(k) {
+                write!(f, "false")
+            } else {
+                write!(f, "inr:{left}({a})")
+            }
+        }
         TermK::Case(m, x, n, y, p) => {
-            write!(f, "case {m} of inl({x}) => {n} | inr({y}) => {p}")
+            write!(f, "(case {m} of inl({x}) => {n} | inr({y}) => {p})")
         }
         TermK::Apply(func, m) => write!(f, "{func}({m})"),
-        TermK::Empty(_) => write!(f, "[]"),
+        TermK::Empty(elem) => write!(f, "[]:{elem}"),
         TermK::Singleton(m) => write!(f, "[{m}]"),
         TermK::Append(a, b) => write!(f, "({a} @ {b})"),
         TermK::Flatten(m) => write!(f, "flatten({m})"),
@@ -90,6 +126,34 @@ mod tests {
         assert_eq!(t.to_string(), "([1] @ xs)");
         let f = map(lam("x", add(var("x"), nat(1))));
         assert_eq!(f.to_string(), "map((\\x. (x + 1)))");
+    }
+
+    #[test]
+    fn annotated_forms_print_their_types() {
+        use crate::types::Type;
+        assert_eq!(empty(Type::Nat).to_string(), "[]:N");
+        assert_eq!(inl(nat(1), Type::seq(Type::Nat)).to_string(), "inl:[N](1)");
+        assert_eq!(inr(unit(), Type::Nat).to_string(), "inr:N(())");
+        assert_eq!(omega(Type::bool_()).to_string(), "omega:B");
+    }
+
+    #[test]
+    fn booleans_print_as_keywords() {
+        assert_eq!(tt().to_string(), "true");
+        assert_eq!(ff().to_string(), "false");
+        // A non-canonical inl over unit with a non-unit annotation is NOT true.
+        use crate::types::Type;
+        assert_eq!(inl(unit(), Type::Nat).to_string(), "inl:N(())");
+    }
+
+    #[test]
+    fn case_is_parenthesized_against_dangling_arms() {
+        let inner = case(var("b"), "y", nat(1), "z", nat(2));
+        let outer = case(var("a"), "x", inner, "w", nat(3));
+        assert_eq!(
+            outer.to_string(),
+            "(case a of inl(x) => (case b of inl(y) => 1 | inr(z) => 2) | inr(w) => 3)"
+        );
     }
 
     #[test]

@@ -9,14 +9,31 @@ thread_local! {
 
 /// Generates a fresh identifier with the given prefix.
 ///
-/// Names contain `#`, which the surface constructors never produce, so a
-/// gensym can never capture a user variable.
+/// Names contain `#`, which the surface *constructors* never produce and
+/// which the parser **reserves**: [`reserve`] is called for every `#`
+/// identifier the lexer sees, bumping this counter past it.  Either way a
+/// gensym can never capture an existing variable.
 pub fn gensym(prefix: &str) -> String {
     COUNTER.with(|c| {
         let n = c.get();
         c.set(n + 1);
         format!("{prefix}#{n}")
     })
+}
+
+/// Marks an existing `name#n` identifier (e.g. one read back by the
+/// parser) as taken, so later [`gensym`] calls skip past `n`.
+///
+/// Without this, round-tripping a printed program through the parser on a
+/// fresh thread (counter at 0) and then applying a gensym-using builder
+/// (`lam2`, the Theorem 4.2 translation, most of `stdlib`) could mint a
+/// binder like `p#0` that captures the parsed program's `p#0`.
+pub fn reserve(name: &str) {
+    if let Some(digits) = name.rfind('#').map(|i| &name[i + 1..]) {
+        if let Ok(n) = digits.parse::<u64>() {
+            COUNTER.with(|c| c.set(c.get().max(n.saturating_add(1))));
+        }
+    }
 }
 
 /// A lambda over a pair: `lam2("x", "y", body)` builds

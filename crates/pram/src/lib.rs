@@ -190,7 +190,7 @@ mod tests {
             b: 3,
         })
         .push(Halt);
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]

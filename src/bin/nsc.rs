@@ -1,0 +1,301 @@
+//! `nsc` — the NSC surface-language driver.
+//!
+//! Parses a `.nsc` module (see `nsc_core::parse`), type checks it, and
+//! either evaluates it under the Definition 3.1 cost semantics or compiles
+//! it through the full Theorem 7.1 pipeline and runs it on the BVRAM
+//! (sequential and/or rayon-parallel backend), printing the source `T`/`W`
+//! next to the machine `T'`/`W'`.
+//!
+//! ```text
+//! nsc check   file.nsc                 parse + type check, print signatures
+//! nsc run     file.nsc [options]       evaluate + compile + run, cost table
+//! nsc compile file.nsc [options]       print the compiled BVRAM program
+//! ```
+
+use nsc::compile::{compile_nsc_with, run_compiled_on, Backend, OptLevel};
+use nsc::core::eval::Evaluator;
+use nsc::core::parse::{parse_module, parse_value, Module};
+use nsc::core::{Cost, EvalError};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nsc — surface-language driver for the Suciu & Tannen compilation pipeline
+
+USAGE:
+    nsc check   <file.nsc>             parse and type check, print signatures
+    nsc run     <file.nsc> [OPTIONS]   evaluate, compile, run; print T/W vs T'/W'
+    nsc compile <file.nsc> [OPTIONS]   print the compiled BVRAM program
+
+OPTIONS:
+    --entry <name>      entry function (default: `main`, or the sole definition)
+    --input <value>     argument, e.g. '[1, 2, 3]' (default: the file's `input`)
+    --opt <0|1>         BVRAM optimization level (default: 1)
+    --backend <b>       seq | par | both — which machine(s) run the compiled
+                        code (default: both)
+    --source-only       (run) skip compilation, evaluate only
+    --fuel <n>          abort source evaluation after n rule applications
+";
+
+struct Opts {
+    cmd: String,
+    file: String,
+    entry: Option<String>,
+    input: Option<String>,
+    opt: OptLevel,
+    backends: Vec<Backend>,
+    source_only: bool,
+    fuel: Option<u64>,
+}
+
+fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
+    if args.len() < 2 {
+        return Err("expected a command and a file".into());
+    }
+    let cmd = args.remove(0);
+    if !["check", "run", "compile"].contains(&cmd.as_str()) {
+        return Err(format!("unknown command `{cmd}`"));
+    }
+    let file = args.remove(0);
+    let mut opts = Opts {
+        cmd,
+        file,
+        entry: None,
+        input: None,
+        opt: OptLevel::default(),
+        backends: vec![Backend::Seq, Backend::Par],
+        source_only: false,
+        fuel: None,
+    };
+    // Silently dropping a flag hides typos; each subcommand accepts only
+    // the options it actually reads.
+    let allowed: &[&str] = match opts.cmd.as_str() {
+        "check" => &[],
+        "compile" => &["--entry", "--opt"],
+        _ => &[
+            "--entry",
+            "--input",
+            "--opt",
+            "--backend",
+            "--source-only",
+            "--fuel",
+        ],
+    };
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        if flag.starts_with("--") && !allowed.contains(&flag.as_str()) {
+            return Err(format!(
+                "`nsc {}` does not accept `{flag}`",
+                opts.cmd
+            ));
+        }
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--entry" => opts.entry = Some(val("--entry")?),
+            "--input" => opts.input = Some(val("--input")?),
+            "--opt" => {
+                opts.opt = match val("--opt")?.as_str() {
+                    "0" => OptLevel::O0,
+                    "1" => OptLevel::O1,
+                    other => return Err(format!("--opt expects 0 or 1, got `{other}`")),
+                }
+            }
+            "--backend" => {
+                opts.backends = match val("--backend")?.as_str() {
+                    "seq" => vec![Backend::Seq],
+                    "par" => vec![Backend::Par],
+                    "both" => vec![Backend::Seq, Backend::Par],
+                    other => {
+                        return Err(format!("--backend expects seq|par|both, got `{other}`"))
+                    }
+                }
+            }
+            "--source-only" => opts.source_only = true,
+            "--fuel" => {
+                opts.fuel = Some(
+                    val("--fuel")?
+                        .parse()
+                        .map_err(|_| "--fuel expects a number".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // The evaluator and the NSC -> NSA translation recurse with program
+    // depth (and with `--input`-controlled recursion depth for recursive
+    // definitions), so the real work runs on a thread with a much larger
+    // stack than main's: deep-but-legitimate programs finish instead of
+    // aborting.  For untrusted recursive input, pair with `--fuel`.
+    const WORKER_STACK: usize = 512 * 1024 * 1024;
+    let worker = std::thread::Builder::new()
+        .name("nsc-driver".into())
+        .stack_size(WORKER_STACK)
+        .spawn(move || drive(&opts))
+        .expect("spawn driver thread");
+    match worker.join() {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(_) => {
+            eprintln!("error: internal panic while driving the pipeline");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn drive(opts: &Opts) -> Result<(), String> {
+    let src = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+    let module = parse_module(&src).map_err(|e| format!("{}: {e}", opts.file))?;
+    if module.defs.is_empty() {
+        return Err(format!("{}: no definitions", opts.file));
+    }
+    module.check().map_err(|e| format!("{}: {e}", opts.file))?;
+
+    match opts.cmd.as_str() {
+        "check" => {
+            // One line per definition; tolerate a closed pipe like the
+            // other subcommands.
+            use std::io::Write;
+            let mut out = std::io::stdout().lock();
+            for d in &module.defs {
+                let _ = writeln!(out, "fn {} : {} -> {}", d.name, d.dom, d.cod);
+            }
+            Ok(())
+        }
+        "compile" => cmd_compile(opts, &module),
+        "run" => cmd_run(opts, &module),
+        _ => unreachable!(),
+    }
+}
+
+fn entry_name(opts: &Opts, module: &Module) -> Result<String, String> {
+    if let Some(e) = &opts.entry {
+        return Ok(e.clone());
+    }
+    if module.get("main").is_some() {
+        return Ok("main".into());
+    }
+    if module.defs.len() == 1 {
+        return Ok(module.defs[0].name.to_string());
+    }
+    Err("no `main` and several definitions; pick one with --entry".into())
+}
+
+fn cmd_compile(opts: &Opts, module: &Module) -> Result<(), String> {
+    let entry = entry_name(opts, module)?;
+    let def = module
+        .get(&entry)
+        .ok_or_else(|| format!("no definition named `{entry}`"))?;
+    let pure = module.inlined(&entry).map_err(|e| e.to_string())?;
+    let compiled = compile_nsc_with(&pure, &def.dom, opts.opt)
+        .map_err(|e| format!("compiling `{entry}`: {e}"))?;
+    // Listings are long; tolerate a closed pipe (`nsc compile … | head`).
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(
+        out,
+        "-- {} : {} -> {} (opt {:?})",
+        entry, def.dom, def.cod, opts.opt
+    );
+    let _ = write!(out, "{}", compiled.program);
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts, module: &Module) -> Result<(), String> {
+    let entry = entry_name(opts, module)?;
+    let def = module
+        .get(&entry)
+        .ok_or_else(|| format!("no definition named `{entry}`"))?;
+    let input = match &opts.input {
+        Some(src) => parse_value(src).map_err(|e| format!("--input: {e}"))?,
+        None => module.input.clone().ok_or_else(|| {
+            "no input: pass --input '<value>' or add an `input <value>` directive".to_string()
+        })?,
+    };
+    if !def.dom.admits(&input) {
+        return Err(format!(
+            "input {input} does not inhabit `{entry}`'s domain {}",
+            def.dom
+        ));
+    }
+
+    // Source semantics (Definition 3.1 costs), with named definitions
+    // resolved through the function table.
+    let table = module.func_table();
+    let mut ev = Evaluator::new(&table);
+    if let Some(fuel) = opts.fuel {
+        ev = ev.with_fuel(fuel);
+    }
+    let (value, src_cost) = ev
+        .apply_closed(&def.func, input.clone())
+        .map_err(|e| format!("evaluating `{entry}`: {e}"))?;
+    // Result values can be huge; tolerate a closed pipe (`nsc run … | head`)
+    // like cmd_compile does.
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{entry} : {} -> {}", def.dom, def.cod);
+    let _ = writeln!(out, "input  = {input}");
+    let _ = writeln!(out, "result = {value}");
+    let mut rows: Vec<(String, Cost)> = vec![("source (Def 3.1)".into(), src_cost)];
+
+    if !opts.source_only {
+        match module.inlined(&entry) {
+            // Recursive entries still evaluate; they only skip the
+            // (pure-NSC) compiler.  Every *other* inlining failure is a
+            // hard error — exiting 0 with a note would let a program that
+            // stopped compiling sail through scripts and CI.
+            Err(e @ nsc::core::parse::ModuleError::Recursive(_)) => {
+                let _ = writeln!(out, "note: not compiled: {e}");
+            }
+            Err(e) => return Err(e.to_string()),
+            Ok(pure) => {
+                let compiled = compile_nsc_with(&pure, &def.dom, opts.opt)
+                    .map_err(|e| format!("compiling `{entry}`: {e}"))?;
+                for &backend in &opts.backends {
+                    let (got, cost) = match run_compiled_on(&compiled, &input, backend) {
+                        Ok(x) => x,
+                        Err(EvalError::MachineFault(what)) => {
+                            return Err(format!("bvram/{}: compiler bug: {what}", backend.name()))
+                        }
+                        Err(e) => return Err(format!("bvram/{}: {e}", backend.name())),
+                    };
+                    if got != value {
+                        return Err(format!(
+                            "bvram/{} disagrees with the evaluator: {got} != {value}",
+                            backend.name()
+                        ));
+                    }
+                    rows.push((format!("bvram/{} (T'/W')", backend.name()), cost));
+                }
+            }
+        }
+    }
+
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let _ = writeln!(out, "{:name_w$}  {:>12}  {:>12}", "", "time", "work");
+    for (name, c) in &rows {
+        let _ = writeln!(out, "{name:name_w$}  {:>12}  {:>12}", c.time, c.work);
+    }
+    Ok(())
+}

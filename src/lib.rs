@@ -5,7 +5,9 @@
 //!
 //! * [`core`] — the NSC calculus: AST, type checker, the
 //!   Definition 3.1 cost-instrumented evaluator, the section-3 standard
-//!   library, and the Theorem 4.2 map-recursion translation;
+//!   library, the Theorem 4.2 map-recursion translation, and the surface
+//!   syntax (`core::parse`, the inverse of the pretty-printer — see the
+//!   `nsc` CLI in `src/bin/nsc.rs` for the `.nsc` file driver);
 //! * [`algebra`] — NSA (Appendix C), the flat Sequence
 //!   Algebra (Appendix D), the `SEQ` encoding and Map Lemma (Lemma 7.2),
 //!   and the flattening translation (Proposition 7.4);

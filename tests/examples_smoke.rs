@@ -1,7 +1,11 @@
 //! Smoke test: every binary under `examples/` runs to completion and
-//! prints something. `cargo test` compiles the examples before running
-//! test binaries, so they are guaranteed to exist next to this test's
-//! own profile directory.
+//! prints something, and every `.nsc` golden file runs end to end through
+//! the `nsc` CLI. `cargo test` compiles the examples and bin targets
+//! before running test binaries, so they are guaranteed to exist next to
+//! this test's own profile directory.
+//!
+//! (`tests/surface_syntax.rs` checks the `.nsc` files' *outputs* against
+//! golden values, per backend; here they only need to run.)
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -45,6 +49,40 @@ fn every_example_runs_to_completion() {
             "example `{name}` printed nothing to stdout"
         );
     }
+}
+
+#[test]
+fn every_nsc_example_runs_under_the_cli() {
+    let mut bin = examples_dir();
+    bin.pop(); // back to <profile>/
+    bin.push("nsc");
+    if !bin.exists() {
+        bin.set_extension("exe");
+    }
+    assert!(bin.exists(), "nsc binary not found at {}", bin.display());
+    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut ran = 0;
+    for entry in std::fs::read_dir(src_dir).expect("examples/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "nsc") != Some(true) {
+            continue;
+        }
+        let out = Command::new(&bin)
+            .arg("run")
+            .arg(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn nsc on {}: {e}", path.display()));
+        assert!(
+            out.status.success(),
+            "nsc run {} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            path.display(),
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        ran += 1;
+    }
+    assert!(ran >= 5, "expected at least 5 .nsc golden files, found {ran}");
 }
 
 #[test]

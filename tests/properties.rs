@@ -21,6 +21,133 @@ fn to_value(v: &[Vec<u64>]) -> Value {
 
 mod common;
 
+// ---------------------------------------------------------------------------
+// Random NSC terms for the parser round-trip property.
+//
+// The vendored proptest shim has no recursive combinators, so terms are
+// generated fuzz-style: a word vector drives a deterministic decoder that
+// picks constructors until the depth budget runs out (the same technique
+// as `bvram::fuzz::decode_program`).  Shrinking the word vector shrinks
+// the term.  The terms are well-scoped but deliberately NOT type-checked:
+// the round-trip law is purely syntactic.
+// ---------------------------------------------------------------------------
+
+struct Words<'a> {
+    ws: &'a [u64],
+    i: usize,
+}
+
+impl Words<'_> {
+    fn next(&mut self) -> u64 {
+        let w = self.ws[self.i % self.ws.len()];
+        // Mix the position in so a cycled word vector doesn't lock the
+        // decoder into one constructor forever.
+        self.i += 1;
+        w.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(self.i as u64))
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const NAMES: &[&str] = &["x", "y", "zs", "acc", "p#0", "__tmp", "a1"];
+
+fn gen_name(w: &mut Words) -> &'static str {
+    NAMES[w.pick(NAMES.len() as u64) as usize]
+}
+
+fn gen_type(w: &mut Words, depth: u64) -> Type {
+    match if depth == 0 { w.pick(3) } else { w.pick(6) } {
+        0 => Type::Unit,
+        1 => Type::Nat,
+        2 => Type::bool_(),
+        3 => Type::seq(gen_type(w, depth - 1)),
+        4 => Type::prod(gen_type(w, depth - 1), gen_type(w, depth - 1)),
+        _ => Type::sum(gen_type(w, depth - 1), gen_type(w, depth - 1)),
+    }
+}
+
+fn gen_term(w: &mut Words, depth: u64) -> nsc::core::Term {
+    use nsc::core::ast::*;
+    if depth == 0 {
+        return match w.pick(6) {
+            0 => var(gen_name(w)),
+            1 => nat(w.pick(1000)),
+            2 => unit(),
+            3 => tt(),
+            4 => ff(),
+            _ => empty(gen_type(w, 1)),
+        };
+    }
+    let d = depth - 1;
+    match w.pick(24) {
+        0 => var(gen_name(w)),
+        1 => nat(w.pick(1000)),
+        2 => unit(),
+        3 => omega(gen_type(w, 2)),
+        4 => {
+            let ops = [
+                ArithOp::Add,
+                ArithOp::Monus,
+                ArithOp::Mul,
+                ArithOp::Div,
+                ArithOp::Mod,
+                ArithOp::Rshift,
+                ArithOp::Lshift,
+                ArithOp::Min,
+                ArithOp::Max,
+                ArithOp::Log2,
+            ];
+            arith(
+                ops[w.pick(ops.len() as u64) as usize],
+                gen_term(w, d),
+                gen_term(w, d),
+            )
+        }
+        5 => eq(gen_term(w, d), gen_term(w, d)),
+        6 => le(gen_term(w, d), gen_term(w, d)),
+        7 => lt(gen_term(w, d), gen_term(w, d)),
+        8 => pair(gen_term(w, d), gen_term(w, d)),
+        9 => fst(gen_term(w, d)),
+        10 => snd(gen_term(w, d)),
+        11 => inl(gen_term(w, d), gen_type(w, 2)),
+        12 => inr(gen_term(w, d), gen_type(w, 2)),
+        13 => case(
+            gen_term(w, d),
+            gen_name(w),
+            gen_term(w, d),
+            gen_name(w),
+            gen_term(w, d),
+        ),
+        14 => app(gen_func(w, d), gen_term(w, d)),
+        15 => empty(gen_type(w, 2)),
+        16 => singleton(gen_term(w, d)),
+        17 => append(gen_term(w, d), gen_term(w, d)),
+        18 => flatten(gen_term(w, d)),
+        19 => length(gen_term(w, d)),
+        20 => get(gen_term(w, d)),
+        21 => zip(gen_term(w, d), gen_term(w, d)),
+        22 => enumerate(gen_term(w, d)),
+        _ => split(gen_term(w, d), gen_term(w, d)),
+    }
+}
+
+fn gen_func(w: &mut Words, depth: u64) -> nsc::core::Func {
+    use nsc::core::ast::*;
+    if depth == 0 {
+        return lam(gen_name(w), var(gen_name(w)));
+    }
+    let d = depth - 1;
+    match w.pick(5) {
+        0 => lam(gen_name(w), gen_term(w, d)),
+        1 => lam_t(gen_name(w), gen_type(w, 2), gen_term(w, d)),
+        2 => map(gen_func(w, d)),
+        3 => while_(gen_func(w, d), gen_func(w, d)),
+        _ => named("helper"),
+    }
+}
+
 thread_local! {
     /// The shared suite with each function compiled down to the BVRAM
     /// once per thread, not once per property case. (`Func` holds `Rc`s,
@@ -148,7 +275,7 @@ proptest! {
             .push(Arith { dst: 3, op: Op::Max, a: 2, b: 0 })
             .push(Select { dst: 0, src: 3 })
             .push(Halt);
-        let p = b.build();
+        let p = b.build().unwrap();
         let seq = nsc::machine::run_program(&p, std::slice::from_ref(&xs)).unwrap();
         let par = nsc::machine::ParMachine::new(p.n_regs).run(&p, &[xs]).unwrap();
         prop_assert_eq!(seq.outputs, par.outputs);
@@ -199,6 +326,35 @@ proptest! {
             ),
             (x, y) => prop_assert!(false, "fault behavior changed: {:?} vs {:?}\n{}\n{}", x, y, prog, opt),
         }
+    }
+
+    /// The surface-syntax round trip: `parse(pretty(t)) == t` for random
+    /// terms over every constructor, and likewise for functions.  Purely
+    /// syntactic — the generated terms need not type check.
+    #[test]
+    fn prop_parse_pretty_roundtrip(words in proptest::collection::vec(0u64..u64::MAX, 1..40),
+                                   depth in 1u64..6) {
+        let mut w = Words { ws: &words, i: 0 };
+        let t = gen_term(&mut w, depth);
+        let printed = t.to_string();
+        let back = nsc::core::parse::parse_term(&printed);
+        prop_assert!(back.is_ok(), "printed term does not re-parse: {:?}\n{printed}", back.err());
+        prop_assert_eq!(back.unwrap(), t, "round trip changed the term: {}", printed);
+
+        let f = gen_func(&mut w, depth);
+        let printed = f.to_string();
+        let back = nsc::core::parse::parse_func(&printed);
+        prop_assert!(back.is_ok(), "printed func does not re-parse: {:?}\n{printed}", back.err());
+        prop_assert_eq!(back.unwrap(), f, "round trip changed the function: {}", printed);
+    }
+
+    /// Types round-trip through their `Display` form as well.
+    #[test]
+    fn prop_type_display_roundtrip(words in proptest::collection::vec(0u64..u64::MAX, 1..10),
+                                   depth in 0u64..5) {
+        let mut w = Words { ws: &words, i: 0 };
+        let t = gen_type(&mut w, depth);
+        prop_assert_eq!(nsc::core::parse::parse_type(&t.to_string()).unwrap(), t);
     }
 
     /// NSC evaluator and NSA translation agree on stdlib pipelines over

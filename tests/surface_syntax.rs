@@ -1,0 +1,454 @@
+//! The surface-syntax contract, end to end:
+//!
+//! * `parse(pretty(f)) == f` over the whole standard library, the maprec
+//!   fixtures (direct bodies *and* their Theorem 4.2 translations), and
+//!   Valiant's mergesort;
+//! * every `examples/*.nsc` golden file parses, type checks, evaluates,
+//!   and compiles to the same value on both BVRAM backends;
+//! * common syntax/type mistakes produce the snapshot error messages;
+//! * the `nsc` CLI binary drives all of the above from the command line.
+
+use nsc::compile::{compile_nsc, run_compiled_on, Backend};
+use nsc::core::ast as a;
+use nsc::core::eval::Evaluator;
+use nsc::core::parse::{parse_func, parse_module, parse_term};
+use nsc::core::stdlib;
+use nsc::core::{Func, Type, Value};
+use std::path::PathBuf;
+
+fn roundtrip(name: &str, f: &Func) {
+    let printed = f.to_string();
+    let back = parse_func(&printed)
+        .unwrap_or_else(|e| panic!("{name}: printed form does not re-parse: {e}\n{printed}"));
+    assert_eq!(&back, f, "{name}: parse(pretty(f)) != f");
+}
+
+#[test]
+fn stdlib_round_trips() {
+    let n = Type::Nat;
+    let cases: Vec<(&str, Func)> = vec![
+        ("pi1", stdlib::basic::pi1()),
+        ("pi2", stdlib::basic::pi2()),
+        ("broadcast", stdlib::basic::broadcast()),
+        ("sigma1", stdlib::basic::sigma1(&n)),
+        ("sigma2", stdlib::basic::sigma2(&n)),
+        (
+            "filter",
+            stdlib::basic::filter(a::lam("y", a::lt(a::var("y"), a::nat(5))), &n),
+        ),
+        (
+            "prefix_sum",
+            a::lam("x", stdlib::numeric::prefix_sum(a::var("x"))),
+        ),
+        ("sum_seq", a::lam("x", stdlib::numeric::sum_seq(a::var("x")))),
+        ("maximum", a::lam("x", stdlib::numeric::maximum(a::var("x")))),
+        (
+            "isqrt_pow2",
+            a::lam("x", stdlib::numeric::isqrt_pow2(a::var("x"))),
+        ),
+        (
+            "index",
+            a::lam(
+                "x",
+                stdlib::indexing::index(a::var("x"), a::singleton(a::nat(0)), &n),
+            ),
+        ),
+        (
+            "index_split",
+            a::lam(
+                "x",
+                stdlib::indexing::index_split(a::var("x"), a::singleton(a::nat(0))),
+            ),
+        ),
+        (
+            "bm_route",
+            a::lam(
+                "x",
+                stdlib::routing::bm_route(a::var("x"), a::var("x"), a::nat(3)),
+            ),
+        ),
+        (
+            "m_route",
+            a::lam("x", stdlib::routing::m_route(a::var("x"), a::var("x"))),
+        ),
+        (
+            "combine_flags",
+            a::lam(
+                "x",
+                stdlib::routing::combine_flags(a::var("x"), a::var("x"), a::var("x"), &n),
+            ),
+        ),
+        ("nth", a::lam("x", stdlib::lists::nth(a::var("x"), a::nat(0), &n))),
+        ("take", a::lam("x", stdlib::lists::take(a::var("x"), a::nat(2), &n))),
+        ("drop", a::lam("x", stdlib::lists::drop(a::var("x"), a::nat(2), &n))),
+        ("first", a::lam("x", stdlib::lists::first(a::var("x"), &n))),
+        ("last", a::lam("x", stdlib::lists::last(a::var("x"), &n))),
+        ("tail", a::lam("x", stdlib::lists::tail(a::var("x"), &n))),
+        (
+            "remove_last",
+            a::lam("x", stdlib::lists::remove_last(a::var("x"), &n)),
+        ),
+        ("lam2", stdlib::util::lam2("a", "b", a::monus(a::var("a"), a::var("b")))),
+    ];
+    for (name, f) in &cases {
+        roundtrip(name, f);
+    }
+}
+
+#[test]
+fn maprec_fixtures_round_trip() {
+    use nsc::core::maprec::{fixtures, translate::translate};
+    for def in [fixtures::range_sum(), fixtures::range_sum3(), fixtures::staircase()] {
+        roundtrip(&format!("maprec body {}", def.name), &def.body());
+        roundtrip(&format!("maprec translated {}", def.name), &translate(&def));
+    }
+}
+
+#[test]
+fn valiant_mergesort_round_trips() {
+    use nsc::core::maprec::translate::translate;
+    for def in [
+        nsc::algorithms::valiant::mergesort_def(),
+        nsc::algorithms::valiant::direct_mergesort_def(),
+    ] {
+        roundtrip(&format!("{} body", def.name), &def.body());
+        roundtrip(&format!("{} translated", def.name), &translate(&def));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden `.nsc` example files.
+// ---------------------------------------------------------------------------
+
+fn examples_src_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples")
+}
+
+/// Every golden file with its expected output on its embedded input.
+fn golden() -> Vec<(&'static str, Value)> {
+    vec![
+        (
+            "square_plus_one.nsc",
+            Value::nat_seq([1, 2, 5, 10, 17, 26, 37, 50]),
+        ),
+        ("halve_all.nsc", Value::nat_seq([0, 0, 0, 0, 0, 0])),
+        ("dot_product.nsc", Value::nat(300)),
+        (
+            "regroup.nsc",
+            Value::seq(vec![
+                Value::nat_seq([3, 5]),
+                Value::nat_seq([]),
+                Value::nat_seq([7, 9, 11]),
+                Value::nat_seq([13]),
+            ]),
+        ),
+        (
+            "classify.nsc",
+            Value::seq(vec![
+                Value::bool_(true),
+                Value::inr(Value::nat(3)),
+                Value::bool_(true),
+                Value::inr(Value::nat(7)),
+                Value::bool_(true),
+            ]),
+        ),
+    ]
+}
+
+#[test]
+fn golden_list_is_exhaustive() {
+    let mut found: Vec<String> = std::fs::read_dir(examples_src_dir())
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "nsc")
+                .then(|| p.file_name().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = golden().iter().map(|(n, _)| n.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        found, expected,
+        "examples/*.nsc and the golden() table disagree; update both together"
+    );
+}
+
+#[test]
+fn golden_examples_run_on_both_backends() {
+    for (name, want) in golden() {
+        let src = std::fs::read_to_string(examples_src_dir().join(name)).unwrap();
+        let module = parse_module(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        module.check().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let def = module.get("main").unwrap_or_else(|| panic!("{name}: no main"));
+        let input = module
+            .input
+            .clone()
+            .unwrap_or_else(|| panic!("{name}: no input directive"));
+
+        // Source semantics.
+        let table = module.func_table();
+        let (evaled, _) = Evaluator::new(&table)
+            .apply_closed(&def.func, input.clone())
+            .unwrap_or_else(|e| panic!("{name}: evaluator: {e}"));
+        assert_eq!(evaled, want, "{name}: evaluator output");
+
+        // Theorem 7.1 pipeline on both machines.
+        let pure = module.inlined("main").unwrap_or_else(|e| panic!("{name}: {e}"));
+        let compiled = compile_nsc(&pure, &def.dom).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (seq_v, seq_c) = run_compiled_on(&compiled, &input, Backend::Seq)
+            .unwrap_or_else(|e| panic!("{name}: seq: {e}"));
+        let (par_v, par_c) = run_compiled_on(&compiled, &input, Backend::Par)
+            .unwrap_or_else(|e| panic!("{name}: par: {e}"));
+        assert_eq!(seq_v, want, "{name}: seq backend output");
+        assert_eq!(par_v, want, "{name}: par backend output");
+        assert_eq!(
+            (seq_c.time, seq_c.work),
+            (par_c.time, par_c.work),
+            "{name}: backend stats diverge"
+        );
+    }
+}
+
+#[test]
+fn golden_examples_round_trip_through_the_printer() {
+    // Re-printing every definition of every example and re-parsing it
+    // reproduces the AST — the .nsc files live inside the printable
+    // fragment plus sugar, and sugar desugars to printable ASTs.
+    for (name, _) in golden() {
+        let src = std::fs::read_to_string(examples_src_dir().join(name)).unwrap();
+        let module = parse_module(&src).unwrap();
+        for def in &module.defs {
+            roundtrip(&format!("{name}:{}", def.name), &def.func);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error-message snapshots.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn syntax_error_snapshots() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "[]",
+            "parse error at 1:3: expected `:` in empty-sequence annotation `[]:t`, \
+             found end of input",
+        ),
+        (
+            "(xs @@ ys)",
+            "parse error at 1:6: expected a term, found `@`",
+        ),
+        (
+            "(1 - 2)",
+            "parse error at 1:4: stray `-`: NSC has no subtraction, use monus `-.`",
+        ),
+        (
+            "inl(3)",
+            "parse error at 1:4: expected `:` in `inl:t(M)` (the annotation is the other \
+             summand's type), found `(`",
+        ),
+        (
+            "(case x of inl(y) => 1)",
+            "parse error at 1:23: expected `|` in case, found `)`",
+        ),
+        ("(\\while. 1)", "parse error at 1:3: `while` is a reserved word and cannot name a lambda binder"),
+    ];
+    for (src, want) in cases {
+        let got = parse_term(src).unwrap_err().to_string();
+        assert_eq!(&got, want, "snapshot changed for {src:?}");
+    }
+}
+
+#[test]
+fn module_error_snapshots() {
+    // Type errors come from the module checker, positioned by definition.
+    let m = parse_module("fn f : N -> B = (\\x. x)").unwrap();
+    assert_eq!(
+        m.check().unwrap_err().to_string(),
+        "in `f`: declared codomain B but the body returns N"
+    );
+    let m = parse_module("fn f : N -> N = (\\x. (x + y))").unwrap();
+    assert_eq!(
+        m.check().unwrap_err().to_string(),
+        "in `f`: unbound variable `y`"
+    );
+    let m = parse_module("fn f : [N] -> [N] = map((\\x. x)) fn f : N -> N = (\\x. x)");
+    assert_eq!(
+        m.unwrap_err().to_string(),
+        "parse error at 1:37: duplicate definition of `f`"
+    );
+}
+
+#[test]
+fn compile_errors_surface_the_translation_cause() {
+    // The satellite bugfix: an unbound variable must survive the trip
+    // through compile_nsc instead of collapsing to "translation failed".
+    let f = a::lam("x", a::add(a::var("x"), a::var("oops")));
+    let err = compile_nsc(&f, &Type::Nat).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "NSC -> NSA translation failed: unbound variable `oops`"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The CLI binary.
+// ---------------------------------------------------------------------------
+
+/// The `target/<profile>/` directory holding the `nsc` binary.
+fn nsc_bin() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("nsc");
+    if !p.exists() {
+        p.set_extension("exe");
+    }
+    p
+}
+
+#[test]
+fn cli_runs_every_example_on_both_backends() {
+    let bin = nsc_bin();
+    assert!(bin.exists(), "nsc binary not found at {}", bin.display());
+    for (name, want) in golden() {
+        let path = examples_src_dir().join(name);
+        let mut outputs = Vec::new();
+        for backend in ["seq", "par"] {
+            let out = std::process::Command::new(&bin)
+                .arg("run")
+                .arg(&path)
+                .arg("--backend")
+                .arg(backend)
+                .output()
+                .expect("spawn nsc");
+            let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+            assert!(
+                out.status.success(),
+                "nsc run {name} --backend {backend} failed\n--- stdout ---\n{stdout}\n\
+                 --- stderr ---\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(
+                stdout.contains(&format!("result = {want}")),
+                "nsc run {name}: expected `result = {want}` in\n{stdout}"
+            );
+            // Keep only backend-independent lines (drop the cost table's
+            // backend-named row) and compare seq vs par verbatim.
+            outputs.push(
+                stdout
+                    .lines()
+                    .filter(|l| !l.contains("bvram/"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+        }
+        assert_eq!(outputs[0], outputs[1], "{name}: seq/par CLI output differs");
+    }
+}
+
+#[test]
+fn cli_check_and_compile_work() {
+    let bin = nsc_bin();
+    let path = examples_src_dir().join("square_plus_one.nsc");
+    let out = std::process::Command::new(&bin)
+        .arg("check")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "fn main : [N] -> [N]"
+    );
+    let out = std::process::Command::new(&bin)
+        .arg("compile")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("bvram program"), "{text}");
+    assert!(text.contains("halt"), "{text}");
+}
+
+#[test]
+fn cli_reports_errors_with_nonzero_exit() {
+    let bin = nsc_bin();
+    // Unique per process: concurrent `cargo test` runs share temp_dir().
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("__nsc_bad_example_{}.nsc", std::process::id()));
+    std::fs::write(&bad, "fn main : N -> B = (\\x. x)").unwrap();
+    let out = std::process::Command::new(&bin)
+        .arg("run")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("declared codomain B"), "{err}");
+    std::fs::remove_file(&bad).ok();
+
+    let out = std::process::Command::new(&bin)
+        .arg("run")
+        .arg(examples_src_dir().join("square_plus_one.nsc"))
+        .arg("--input")
+        .arg("(1, 2)")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not inhabit"),
+        "wrong-type input must be rejected"
+    );
+
+    // A non-recursive inlining failure must be a hard error, not a
+    // "note: not compiled" with exit 0 — otherwise CI's backend diff
+    // compares two empty cost tables and passes vacuously.
+    let chain = dir.join(format!("__nsc_chain_example_{}.nsc", std::process::id()));
+    let mut src = String::new();
+    let (defs, per) = (60usize, 30usize);
+    for i in 0..defs {
+        let call = if i + 1 == defs {
+            "x".to_string()
+        } else {
+            format!("c{}(x)", i + 1)
+        };
+        let body = format!("{}{call}{}", "fst((".repeat(per), ", 0))".repeat(per));
+        src.push_str(&format!("fn c{i} : N -> N = (\\x. {body}) "));
+    }
+    src.push_str("input 1");
+    std::fs::write(&chain, src).unwrap();
+    let out = std::process::Command::new(&bin)
+        .arg("run")
+        .arg(&chain)
+        .arg("--entry")
+        .arg("c0")
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "an uncompilable non-recursive entry must fail nsc run"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("inlining"),
+        "stderr must explain the inlining failure"
+    );
+    std::fs::remove_file(&chain).ok();
+
+    // Run-only flags on other subcommands are rejected, not ignored.
+    let out = std::process::Command::new(&bin)
+        .arg("check")
+        .arg(examples_src_dir().join("square_plus_one.nsc"))
+        .arg("--backend")
+        .arg("par")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not accept `--backend`"),
+        "check must reject run-only flags"
+    );
+}
