@@ -223,8 +223,7 @@ mod tests {
     #[test]
     fn monotone_routes_are_congestion_free() {
         let b = Butterfly::for_size(64);
-        let packets: Vec<(usize, usize, u64)> =
-            (0..32).map(|i| (i, i * 2, i as u64)).collect();
+        let packets: Vec<(usize, usize, u64)> = (0..32).map(|i| (i, i * 2, i as u64)).collect();
         let (delivered, stats) = b.route(&packets);
         assert_eq!(stats.max_congestion, 1, "greedy monotone is oblivious");
         assert_eq!(stats.steps, 6);

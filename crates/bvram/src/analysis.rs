@@ -222,6 +222,92 @@ pub fn can_fault(ins: &Instr) -> bool {
     )
 }
 
+/// Input-independent summary of a program's `T'`/`W'` behaviour.
+///
+/// Exact `T'`/`W'` are data-dependent (loop trip counts, routed lengths),
+/// so this is deliberately a *shape* summary plus coarse predictors: the
+/// compiled-program cache stores one per cached program, and the batch
+/// runtime's pack-vs-lanes decision reads [`StaticCost::predict_work`]
+/// instead of executing anything.  The model:
+///
+/// * a loop-free program executes at most [`StaticCost::reachable_instrs`]
+///   instructions, each touching `O(n)` register elements;
+/// * a program with a back edge is a compiled `while` (the only loop the
+///   code generator emits), whose trip count the Theorem 7.1 pipeline
+///   keeps logarithmic in the balanced cases — so predictions multiply by
+///   `log₂ n + 1`.
+///
+/// The predictors are monotone in `n` and meant for *relative* decisions
+/// (is this request dispatch-bound or data-bound?), not absolute costs —
+/// the exact numbers come from [`crate::exec::Stats`] after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticCost {
+    /// Instructions reachable from the entry.
+    pub reachable_instrs: u64,
+    /// Reachable instructions that move register *data* (everything but
+    /// jumps and `Halt`) — each costs work proportional to its operand
+    /// lengths.
+    pub vector_instrs: u64,
+    /// Whether any reachable control transfer goes backwards (the
+    /// compiled form of `while`).
+    pub has_loops: bool,
+    /// Register-file size (one allocation class per machine build).
+    pub n_regs: usize,
+}
+
+impl StaticCost {
+    /// Summarizes `prog`.
+    pub fn of(prog: &Program) -> StaticCost {
+        let reach = reachable(prog);
+        let mut reachable_instrs = 0u64;
+        let mut vector_instrs = 0u64;
+        let mut has_loops = false;
+        for (pc, ins) in prog.instrs.iter().enumerate() {
+            if !reach[pc] {
+                continue;
+            }
+            reachable_instrs += 1;
+            match ins {
+                Instr::Goto { target } | Instr::IfEmptyGoto { target, .. } => {
+                    if (*target as usize) <= pc {
+                        has_loops = true;
+                    }
+                }
+                Instr::Halt => {}
+                _ => vector_instrs += 1,
+            }
+        }
+        StaticCost {
+            reachable_instrs,
+            vector_instrs,
+            has_loops,
+            n_regs: prog.n_regs,
+        }
+    }
+
+    /// `log₂ n + 1`, the assumed trip-count factor of a compiled `while`.
+    fn loop_factor(self, n: u64) -> u64 {
+        if self.has_loops {
+            64 - n.max(1).leading_zeros() as u64 + 1
+        } else {
+            1
+        }
+    }
+
+    /// Predicted `T'` for an input of size `n`.
+    pub fn predict_time(&self, n: u64) -> u64 {
+        self.reachable_instrs.saturating_mul(self.loop_factor(n))
+    }
+
+    /// Predicted `W'` for an input of size `n`: every data-moving
+    /// instruction touches `O(n)` elements, times the loop factor.
+    pub fn predict_work(&self, n: u64) -> u64 {
+        self.vector_instrs
+            .saturating_mul(n.max(1))
+            .saturating_mul(self.loop_factor(n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +397,32 @@ mod tests {
             counts: 2,
             values: 3
         }));
+    }
+
+    #[test]
+    fn static_cost_distinguishes_loops_and_ignores_unreachable() {
+        let p = loop_prog();
+        let s = StaticCost::of(&p);
+        assert!(s.has_loops);
+        assert_eq!(s.reachable_instrs, 5);
+        assert_eq!(s.vector_instrs, 2); // enumerate + select
+        assert!(s.predict_work(1024) > s.predict_work(4));
+        assert!(s.predict_time(1024) > s.reachable_instrs);
+
+        // Straight-line: no loop factor, time prediction is exact count.
+        let mut b = Builder::new(1, 1);
+        b.push(Enumerate { dst: 1, src: 0 })
+            .goto("end")
+            .push(Singleton { dst: 0, n: 1 }) // unreachable
+            .label("end")
+            .push(Halt);
+        let p = b.build().unwrap();
+        let s = StaticCost::of(&p);
+        assert!(!s.has_loops);
+        assert_eq!(s.reachable_instrs, 3);
+        assert_eq!(s.vector_instrs, 1);
+        assert_eq!(s.predict_time(4096), 3);
+        assert_eq!(s.predict_work(100), 100);
     }
 
     #[test]

@@ -104,11 +104,7 @@ pub struct Machine {
 
 /// Computes `bm_route` (shared by the sequential and rayon backends and by
 /// the butterfly lowering).
-pub fn bm_route(
-    bound_len: usize,
-    counts: &[u64],
-    values: &[u64],
-) -> Result<Vector, &'static str> {
+pub fn bm_route(bound_len: usize, counts: &[u64], values: &[u64]) -> Result<Vector, &'static str> {
     let mut out = Vec::new();
     bm_route_into(&mut out, bound_len, counts, values)?;
     Ok(out)
@@ -397,7 +393,11 @@ impl Machine {
                     let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
                     let (la, lb) = (self.regs[a].len(), self.regs[b].len());
                     if la != lb {
-                        return Err(MachineError::LengthMismatch { at: pc, a: la, b: lb });
+                        return Err(MachineError::LengthMismatch {
+                            at: pc,
+                            a: la,
+                            b: lb,
+                        });
                     }
                     let fault = MachineError::Arithmetic { at: pc };
                     if dst == a && dst == b {
@@ -444,8 +444,12 @@ impl Machine {
                     counts,
                     values,
                 } => {
-                    let (dst, bound, counts, values) =
-                        (*dst as usize, *bound as usize, *counts as usize, *values as usize);
+                    let (dst, bound, counts, values) = (
+                        *dst as usize,
+                        *bound as usize,
+                        *counts as usize,
+                        *values as usize,
+                    );
                     // Only the *length* of bound matters, so read it before
                     // recycling dst's buffer (dst may alias bound).
                     let bound_len = self.regs[bound].len();
@@ -513,7 +517,10 @@ impl Machine {
                 }
                 Instr::Halt => {
                     stats.work += in_work;
-                    let outputs = self.regs[..prog.r_out].iter_mut().map(std::mem::take).collect();
+                    let outputs = self.regs[..prog.r_out]
+                        .iter_mut()
+                        .map(std::mem::take)
+                        .collect();
                     return Ok(RunOutcome { outputs, stats });
                 }
             }
@@ -555,13 +562,7 @@ mod tests {
     fn sbm_route_matches_paper_example() {
         // Vj=[x0..x4], Vk=[2,0,3], Vl=[a0,a1,b0,b1,b2,c0,c1,c2], Vm=[2,3,3]
         // => [a0,a1,a0,a1,c0,c1,c2,c0,c1,c2,c0,c1,c2]
-        let out = sbm_route(
-            5,
-            &[2, 0, 3],
-            &[1, 2, 10, 11, 12, 20, 21, 22],
-            &[2, 3, 3],
-        )
-        .unwrap();
+        let out = sbm_route(5, &[2, 0, 3], &[1, 2, 10, 11, 12, 20, 21, 22], &[2, 3, 3]).unwrap();
         assert_eq!(out, vec![1, 2, 1, 2, 20, 21, 22, 20, 21, 22, 20, 21, 22]);
     }
 

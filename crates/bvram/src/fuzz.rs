@@ -78,7 +78,12 @@ pub fn decode_program(words: &[u64], input_lens: [usize; FUZZ_INPUTS], r_out: us
                 } else {
                     PARTIAL_OPS[((w >> 32) % PARTIAL_OPS.len() as u64) as usize]
                 };
-                b.push(Instr::Arith { dst: d, op, a, b: a2 });
+                b.push(Instr::Arith {
+                    dst: d,
+                    op,
+                    a,
+                    b: a2,
+                });
                 len[di] = len[ai];
                 ub[di] = ub[ai];
             }
@@ -189,7 +194,9 @@ mod tests {
 
     #[test]
     fn decoder_is_deterministic_and_terminated() {
-        let words: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let words: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
         let p1 = decode_program(&words, [7, 3, 0], FUZZ_REGS);
         let p2 = decode_program(&words, [7, 3, 0], FUZZ_REGS);
         assert_eq!(p1.instrs, p2.instrs);
@@ -202,7 +209,11 @@ mod tests {
         let mut ok = 0;
         for seed in 0..20u64 {
             let words: Vec<u64> = (0..30u64)
-                .map(|i| (seed + 1).wrapping_mul(i.wrapping_add(3)).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .map(|i| {
+                    (seed + 1)
+                        .wrapping_mul(i.wrapping_add(3))
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                })
                 .collect();
             let p = decode_program(&words, [5, 2, 1], FUZZ_REGS);
             let inputs = vec![vec![1; 5], vec![0, 3], vec![9]];

@@ -67,7 +67,11 @@ impl Op {
             Op::Lshift => m.checked_shl(n as u32),
             Op::Min => Some(m.min(n)),
             Op::Max => Some(m.max(n)),
-            Op::Log2 => Some(if m == 0 { 0 } else { 63 - m.leading_zeros() as u64 }),
+            Op::Log2 => Some(if m == 0 {
+                0
+            } else {
+                63 - m.leading_zeros() as u64
+            }),
             Op::Eq => Some((m == n) as u64),
             Op::Le => Some((m <= n) as u64),
             Op::Lt => Some((m < n) as u64),

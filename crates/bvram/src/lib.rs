@@ -22,10 +22,13 @@ pub mod analysis;
 pub mod exec;
 pub mod fuzz;
 pub mod instr;
+pub mod lanes;
 pub mod par;
 pub mod program;
 
+pub use analysis::StaticCost;
 pub use exec::{run_program, Machine, MachineError, RunOutcome, Stats, Vector};
 pub use instr::{Instr, Label, Op, Reg};
+pub use lanes::{run_lanes_rayon, run_lanes_seq};
 pub use par::ParMachine;
 pub use program::{BuildError, Builder, Program};

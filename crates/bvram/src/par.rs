@@ -226,9 +226,8 @@ impl ParMachine {
                             });
                         out
                     } else {
-                        crate::exec::bm_route(bound_len, counts, values).map_err(|what| {
-                            MachineError::RouteInvariant { at: pc, what }
-                        })?
+                        crate::exec::bm_route(bound_len, counts, values)
+                            .map_err(|what| MachineError::RouteInvariant { at: pc, what })?
                     };
                     self.regs[*dst as usize] = out;
                 }
@@ -250,58 +249,52 @@ impl ParMachine {
                 }
                 // The remaining instructions are cheap or inherently
                 // sequential control; share the scalar implementations.
-                other => {
-                    match other {
-                        Instr::Move { dst, src } => {
-                            crate::exec::exec_move(&mut self.regs, *dst as usize, *src as usize);
+                other => match other {
+                    Instr::Move { dst, src } => {
+                        crate::exec::exec_move(&mut self.regs, *dst as usize, *src as usize);
+                    }
+                    Instr::Empty { dst } => self.regs[*dst as usize].clear(),
+                    Instr::Singleton { dst, n } => {
+                        crate::exec::exec_singleton(&mut self.regs, *dst as usize, *n);
+                    }
+                    Instr::Append { dst, a, b } => {
+                        crate::exec::exec_append(
+                            &mut self.regs,
+                            *dst as usize,
+                            *a as usize,
+                            *b as usize,
+                        );
+                    }
+                    Instr::Length { dst, src } => {
+                        crate::exec::exec_length(&mut self.regs, *dst as usize, *src as usize);
+                    }
+                    Instr::Select { dst, src } => {
+                        let src_v = &self.regs[*src as usize];
+                        if src_v.len() >= GRAIN {
+                            let out: Vector =
+                                src_v.par_iter().copied().filter(|x| *x != 0).collect();
+                            self.regs[*dst as usize] = out;
+                        } else {
+                            crate::exec::exec_select(&mut self.regs, *dst as usize, *src as usize);
                         }
-                        Instr::Empty { dst } => self.regs[*dst as usize].clear(),
-                        Instr::Singleton { dst, n } => {
-                            crate::exec::exec_singleton(&mut self.regs, *dst as usize, *n);
-                        }
-                        Instr::Append { dst, a, b } => {
-                            crate::exec::exec_append(
-                                &mut self.regs,
-                                *dst as usize,
-                                *a as usize,
-                                *b as usize,
-                            );
-                        }
-                        Instr::Length { dst, src } => {
-                            crate::exec::exec_length(&mut self.regs, *dst as usize, *src as usize);
-                        }
-                        Instr::Select { dst, src } => {
-                            let src_v = &self.regs[*src as usize];
-                            if src_v.len() >= GRAIN {
-                                let out: Vector =
-                                    src_v.par_iter().copied().filter(|x| *x != 0).collect();
-                                self.regs[*dst as usize] = out;
-                            } else {
-                                crate::exec::exec_select(
-                                    &mut self.regs,
-                                    *dst as usize,
-                                    *src as usize,
-                                );
-                            }
-                        }
-                        Instr::Goto { target } => {
+                    }
+                    Instr::Goto { target } => {
+                        pc = *target as usize;
+                        jumped = true;
+                    }
+                    Instr::IfEmptyGoto { reg, target } => {
+                        if self.regs[*reg as usize].is_empty() {
                             pc = *target as usize;
                             jumped = true;
                         }
-                        Instr::IfEmptyGoto { reg, target } => {
-                            if self.regs[*reg as usize].is_empty() {
-                                pc = *target as usize;
-                                jumped = true;
-                            }
-                        }
-                        Instr::Halt => {
-                            stats.work += in_work;
-                            let outputs = self.regs[..prog.r_out].to_vec();
-                            return Ok(RunOutcome { outputs, stats });
-                        }
-                        _ => unreachable!("handled above"),
                     }
-                }
+                    Instr::Halt => {
+                        stats.work += in_work;
+                        let outputs = self.regs[..prog.r_out].to_vec();
+                        return Ok(RunOutcome { outputs, stats });
+                    }
+                    _ => unreachable!("handled above"),
+                },
             }
             let out_work = ins
                 .output()

@@ -140,19 +140,13 @@ fn trans_func(f: &Func, env: &EnvLayout) -> Result<Nsa, TypeError> {
         FuncK::Map(g) => {
             // (xs, Γ) → ρ₂(Γ, xs) = [(Γ, x)…] → map over swapped pairs.
             let g_f = trans_func(g, env)?;
-            Ok(comp(
-                mapf(comp(g_f, swap())),
-                comp(Nsa::Broadcast, swap()),
-            ))
+            Ok(comp(mapf(comp(g_f, swap())), comp(Nsa::Broadcast, swap())))
         }
         FuncK::While(p, body) => {
             // State (x, Γ): predicate on the state, body preserves Γ.
             let p_f = trans_func(p, env)?;
             let b_f = trans_func(body, env)?;
-            Ok(comp(
-                Nsa::Pi1,
-                whilef(p_f, pair(b_f, Nsa::Pi2)),
-            ))
+            Ok(comp(Nsa::Pi1, whilef(p_f, pair(b_f, Nsa::Pi2))))
         }
         FuncK::Named(n) => Err(TypeError::UnknownFunction(format!(
             "named function `{n}` must be translated away (Theorem 4.2) before NSA"
@@ -181,7 +175,10 @@ mod tests {
         // Proposition C.1: same T and W up to constants.
         let tr = nsa_cost.time as f64 / nsc_cost.time.max(1) as f64;
         let wr = nsa_cost.work as f64 / nsc_cost.work.max(1) as f64;
-        assert!(tr < 20.0 && wr < 20.0, "cost blowup {tr:.1}x/{wr:.1}x for {t}");
+        assert!(
+            tr < 20.0 && wr < 20.0,
+            "cost blowup {tr:.1}x/{wr:.1}x for {t}"
+        );
     }
 
     fn check_func(f: &Func, arg: Value) {
@@ -207,11 +204,7 @@ mod tests {
             let_in("y", nat(7), monus(var("y"), var("x"))),
         ));
         // Shadowing
-        check_term(&let_in(
-            "x",
-            nat(5),
-            let_in("x", nat(7), var("x")),
-        ));
+        check_term(&let_in("x", nat(5), let_in("x", nat(7), var("x"))));
     }
 
     #[test]
@@ -233,7 +226,10 @@ mod tests {
             nat(10),
             app(
                 map(lam("x", add(var("x"), var("k")))),
-                append(singleton(nat(0)), append(singleton(nat(1)), singleton(nat(2)))),
+                append(
+                    singleton(nat(0)),
+                    append(singleton(nat(1)), singleton(nat(2))),
+                ),
             ),
         );
         check_term(&body);

@@ -425,7 +425,10 @@ mod tests {
 
     #[test]
     fn sum_case_and_dist() {
-        let f = sum(Nsa::Id, comp(Nsa::Arith(ArithOp::Add), pair(Nsa::Id, Nsa::Id)));
+        let f = sum(
+            Nsa::Id,
+            comp(Nsa::Arith(ArithOp::Add), pair(Nsa::Id, Nsa::Id)),
+        );
         let (out, _) = apply(&f, &Value::inl(Value::nat(5))).unwrap();
         assert_eq!(out, Value::nat(5));
         let (out, _) = apply(&f, &Value::inr(Value::nat(5))).unwrap();
@@ -450,7 +453,10 @@ mod tests {
     #[test]
     fn while_halves_to_zero() {
         use nsc_core::ast::CmpOp;
-        let p = comp(Nsa::Cmp(CmpOp::Lt), pair(comp(Nsa::ConstNat(0), Nsa::Bang), Nsa::Id));
+        let p = comp(
+            Nsa::Cmp(CmpOp::Lt),
+            pair(comp(Nsa::ConstNat(0), Nsa::Bang), Nsa::Id),
+        );
         let f = comp(
             Nsa::Arith(ArithOp::Rshift),
             pair(Nsa::Id, comp(Nsa::ConstNat(1), Nsa::Bang)),

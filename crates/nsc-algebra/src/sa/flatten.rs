@@ -20,8 +20,7 @@
 
 use super::b::*;
 use super::map_lemma::{
-    append_enc, count_enc, empty_enc, gather_sorted, not_flat, seq_lift, singleton_enc,
-    zeros_like,
+    append_enc, count_enc, empty_enc, gather_sorted, not_flat, seq_lift, singleton_enc, zeros_like,
 };
 use super::scalar::{b as sb, Scalar};
 use super::seq::{decode_batch, encode_batch, seq_type};
@@ -136,10 +135,7 @@ fn drop_seq(x: &Type) -> Result<Sa, E> {
     Ok(match x {
         Type::Unit => Sa::Bang,
         Type::Seq(_) => Sa::Pi2,
-        Type::Prod(a, b) => pair(
-            comp(drop_seq(a)?, Sa::Pi1),
-            comp(drop_seq(b)?, Sa::Pi2),
-        ),
+        Type::Prod(a, b) => pair(comp(drop_seq(a)?, Sa::Pi1), comp(drop_seq(b)?, Sa::Pi2)),
         _ => return Err(stuck("drop_seq: unexpected sum/N in SEQ structure")),
     })
 }
@@ -300,10 +296,7 @@ pub fn compile(f: &Nsa, dom: &Type) -> Result<(Sa, Type), E> {
         },
         Nsa::OmegaF(cod) => Ok((Sa::OmegaF(compile_type(cod)), cod.clone())),
         Nsa::ConstNat(n) => Ok((const_seq(*n), Type::Nat)),
-        Nsa::Arith(op) => Ok((
-            comp(maps(Scalar::Arith(*op)), Sa::ZipF),
-            Type::Nat,
-        )),
+        Nsa::Arith(op) => Ok((comp(maps(Scalar::Arith(*op)), Sa::ZipF), Type::Nat)),
         Nsa::Cmp(op) => Ok((
             comp(seq_bool(), comp(maps(Scalar::Cmp(*op)), Sa::ZipF)),
             Type::bool_(),
@@ -332,26 +325,17 @@ pub fn compile(f: &Nsa, dom: &Type) -> Result<(Sa, Type), E> {
             comp(empty_enc(&compile_type(elem))?, Sa::Bang),
             Type::seq(elem.clone()),
         )),
-        Nsa::SingletonF => Ok((
-            singleton_enc(&compile_type(dom))?,
-            Type::seq(dom.clone()),
-        )),
+        Nsa::SingletonF => Ok((singleton_enc(&compile_type(dom))?, Type::seq(dom.clone()))),
         Nsa::AppendF => match dom {
             Type::Prod(a, _) => match &**a {
-                Type::Seq(e) => Ok((
-                    append_enc(&compile_type(e))?,
-                    (**a).clone(),
-                )),
+                Type::Seq(e) => Ok((append_enc(&compile_type(e))?, (**a).clone())),
                 _ => Err(stuck("compile append domain")),
             },
             _ => Err(stuck("compile append domain")),
         },
         Nsa::FlattenF => match dom {
             Type::Seq(inner) => match &**inner {
-                Type::Seq(e) => Ok((
-                    drop_seq(&seq_type(&compile_type(e)))?,
-                    (**inner).clone(),
-                )),
+                Type::Seq(e) => Ok((drop_seq(&seq_type(&compile_type(e)))?, (**inner).clone())),
                 _ => Err(stuck("compile flatten domain")),
             },
             _ => Err(stuck("compile flatten domain")),
@@ -375,8 +359,7 @@ pub fn compile(f: &Nsa, dom: &Type) -> Result<(Sa, Type), E> {
                         comp(count_enc(&compile_type(s1))?, Sa::Pi1),
                         comp(count_enc(&compile_type(s2))?, Sa::Pi2),
                     );
-                    let zip_ty =
-                        Type::seq(Type::prod((**s1).clone(), (**s2).clone()));
+                    let zip_ty = Type::seq(Type::prod((**s1).clone(), (**s2).clone()));
                     Ok((guard(eq, Sa::Id, &zip_ty), zip_ty))
                 }
                 _ => Err(stuck("compile zip domain")),
@@ -446,16 +429,19 @@ fn get_one(ct: &Type) -> Result<Sa, E> {
     Ok(match ct {
         Type::Unit => Sa::Bang,
         Type::Seq(_) => Sa::Pi2,
-        Type::Prod(a, b) => pair(
-            comp(get_one(a)?, Sa::Pi1),
-            comp(get_one(b)?, Sa::Pi2),
-        ),
+        Type::Prod(a, b) => pair(comp(get_one(a)?, Sa::Pi1), comp(get_one(b)?, Sa::Pi2)),
         Type::Sum(a, b) => {
             let tag = comp(seq_bool(), Sa::Pi1);
             iff(
                 tag,
-                comp(Sa::InlF((**b).clone()), comp(get_one(a)?, comp(Sa::Pi1, Sa::Pi2))),
-                comp(Sa::InrF((**a).clone()), comp(get_one(b)?, comp(Sa::Pi2, Sa::Pi2))),
+                comp(
+                    Sa::InlF((**b).clone()),
+                    comp(get_one(a)?, comp(Sa::Pi1, Sa::Pi2)),
+                ),
+                comp(
+                    Sa::InrF((**a).clone()),
+                    comp(get_one(b)?, comp(Sa::Pi2, Sa::Pi2)),
+                ),
             )
         }
         Type::Nat => return Err(stuck("get_one on N")),
@@ -563,10 +549,7 @@ mod tests {
     fn sequence_primitives_pipeline() {
         let nat_seq_ty = Type::seq(Type::Nat);
         // append
-        let f = a::lam(
-            "x",
-            a::append(a::var("x"), a::singleton(a::nat(9))),
-        );
+        let f = a::lam("x", a::append(a::var("x"), a::singleton(a::nat(9))));
         check(&f, &nat_seq_ty, Value::nat_seq([1, 2]));
         // enumerate
         let f = a::lam("x", a::enumerate(a::var("x")));
@@ -619,7 +602,11 @@ mod tests {
             ),
         );
         let dom = Type::prod(Type::Nat, Type::seq(Type::Nat));
-        check(&f, &dom, Value::pair(Value::nat(7), Value::nat_seq([1, 2, 3])));
+        check(
+            &f,
+            &dom,
+            Value::pair(Value::nat(7), Value::nat_seq([1, 2, 3])),
+        );
     }
 
     #[test]
@@ -651,4 +638,3 @@ mod tests {
         check(&f, &def.dom, range(0, 8));
     }
 }
-

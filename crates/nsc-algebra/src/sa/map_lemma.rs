@@ -49,7 +49,10 @@ fn phi_not() -> Scalar {
 
 /// Flat-`B` negation.
 pub fn not_flat() -> Sa {
-    sum(comp(Sa::InrF(Type::Unit), Sa::Id), comp(Sa::InlF(Type::Unit), Sa::Id))
+    sum(
+        comp(Sa::InrF(Type::Unit), Sa::Id),
+        comp(Sa::InlF(Type::Unit), Sa::Id),
+    )
 }
 
 /// `tag_by_flag(s) : [s] × [B] → [s + s]`: wrap each element `inl`/`inr`
@@ -154,8 +157,14 @@ pub fn append_enc(t: &Type) -> Result<Sa, E> {
     Ok(match t {
         Type::Unit => Sa::AppendF,
         Type::Seq(_) => pair(
-            comp(Sa::AppendF, pair(comp(Sa::Pi1, Sa::Pi1), comp(Sa::Pi1, Sa::Pi2))),
-            comp(Sa::AppendF, pair(comp(Sa::Pi2, Sa::Pi1), comp(Sa::Pi2, Sa::Pi2))),
+            comp(
+                Sa::AppendF,
+                pair(comp(Sa::Pi1, Sa::Pi1), comp(Sa::Pi1, Sa::Pi2)),
+            ),
+            comp(
+                Sa::AppendF,
+                pair(comp(Sa::Pi2, Sa::Pi1), comp(Sa::Pi2, Sa::Pi2)),
+            ),
         ),
         Type::Prod(a, b) => pair(
             comp(
@@ -168,7 +177,10 @@ pub fn append_enc(t: &Type) -> Result<Sa, E> {
             ),
         ),
         Type::Sum(a, b) => {
-            let tags = comp(Sa::AppendF, pair(comp(Sa::Pi1, Sa::Pi1), comp(Sa::Pi1, Sa::Pi2)));
+            let tags = comp(
+                Sa::AppendF,
+                pair(comp(Sa::Pi1, Sa::Pi1), comp(Sa::Pi1, Sa::Pi2)),
+            );
             let lefts = comp(
                 append_enc(a)?,
                 pair(
@@ -224,7 +236,10 @@ pub fn pack_enc(t: &Type) -> Result<Sa, E> {
             pair(segs2, data2)
         }
         Type::Prod(a, b) => pair(
-            comp(pack_enc(a)?, pair(flags.clone(), comp(Sa::Pi1, enc.clone()))),
+            comp(
+                pack_enc(a)?,
+                pair(flags.clone(), comp(Sa::Pi1, enc.clone())),
+            ),
             comp(pack_enc(b)?, pair(flags, comp(Sa::Pi2, enc))),
         ),
         Type::Sum(a, b) => {
@@ -441,7 +456,10 @@ pub fn reorder_enc(t: &Type) -> Result<Sa, E> {
         maps(Scalar::Arith(ArithOp::Rshift)),
         comp(
             Sa::ZipF,
-            pair(idx.clone(), comp(bcast_over(), pair(idx.clone(), shift.clone()))),
+            pair(
+                idx.clone(),
+                comp(bcast_over(), pair(idx.clone(), shift.clone())),
+            ),
         ),
     );
     let nonzero = sb::comp(
@@ -452,12 +470,16 @@ pub fn reorder_enc(t: &Type) -> Result<Sa, E> {
         not_flat(),
         comp(
             Sa::EmptyTest,
-            comp(Sa::Sigma1, comp(maps(sb::comp(
-                sb::cases(Scalar::InlS(Type::Unit), Scalar::InrS(Type::Unit)),
-                sb::comp(nonzero, Scalar::Id),
-            ))
-            // map λv. if v>0 then inl () else inr (): tag then σ1-nonempty
-            , shifted.clone())),
+            comp(
+                Sa::Sigma1,
+                comp(
+                    maps(sb::comp(
+                        sb::cases(Scalar::InlS(Type::Unit), Scalar::InrS(Type::Unit)),
+                        sb::comp(nonzero, Scalar::Id),
+                    )), // map λv. if v>0 then inl () else inr (): tag then σ1-nonempty
+                    shifted.clone(),
+                ),
+            ),
         ),
     );
     let pred = any_high;
@@ -480,7 +502,10 @@ pub fn reorder_enc(t: &Type) -> Result<Sa, E> {
     let body = {
         let flags = bit0; // true = bit 0 → comes first (stable LSD)
         let idx0 = comp(pack_leaf(&Type::Nat), pair(idx.clone(), flags.clone()));
-        let idx1 = comp(pack_leaf_false(&Type::Nat), pair(idx.clone(), flags.clone()));
+        let idx1 = comp(
+            pack_leaf_false(&Type::Nat),
+            pair(idx.clone(), flags.clone()),
+        );
         let enc0 = comp(pack_enc(t)?, pair(flags.clone(), enc.clone()));
         let enc1 = comp(pack_enc_false(t)?, pair(flags, enc));
         pair(
@@ -501,10 +526,7 @@ pub fn reorder_enc(t: &Type) -> Result<Sa, E> {
     // run the loop from shift = 0, return the encoding
     Ok(comp(
         comp(Sa::Pi2, Sa::Pi2),
-        comp(
-            whilef(pred, body),
-            pair(const_seq(0), Sa::Id),
-        ),
+        comp(whilef(pred, body), pair(const_seq(0), Sa::Id)),
     ))
 }
 
@@ -588,10 +610,7 @@ pub fn seq_lift(f: &Sa, dom: &Type) -> Res {
         Sa::OmegaF(cod) => {
             // Batched omega errors only when applied to a *nonempty* batch:
             // map(f) over zero elements performs zero applications.
-            let is_empty = comp(
-                super::flatten::seq_bool_is_zero(),
-                count_enc(dom)?,
-            );
+            let is_empty = comp(super::flatten::seq_bool_is_zero(), count_enc(dom)?);
             Ok((
                 iff(is_empty, empty_enc(cod)?, Sa::OmegaF(seq_type(cod))),
                 cod.clone(),
@@ -681,14 +700,8 @@ pub fn seq_lift(f: &Sa, dom: &Type) -> Res {
                         };
                         comp(maps(one_if), data)
                     };
-                    let segs2 = comp(
-                        segment_totals(),
-                        pair(pair(indicator, segs.clone()), segs),
-                    );
-                    Ok((
-                        pair(segs2, packed),
-                        Type::seq((**kept_scalar).clone()),
-                    ))
+                    let segs2 = comp(segment_totals(), pair(pair(indicator, segs.clone()), segs));
+                    Ok((pair(segs2, packed), Type::seq((**kept_scalar).clone())))
                 }
                 _ => Err(stuck("seq_lift sigma domain element")),
             },
@@ -723,16 +736,11 @@ pub fn seq_lift(f: &Sa, dom: &Type) -> Res {
                         pair(comp(Sa::PrefixSum, segs.clone()), segs.clone()),
                     ),
                 );
-                let start_per_elem = comp(
-                    Sa::BmRouteF,
-                    pair(pair(data.clone(), segs.clone()), starts),
-                );
+                let start_per_elem =
+                    comp(Sa::BmRouteF, pair(pair(data.clone(), segs.clone()), starts));
                 let inner = comp(
                     maps(Scalar::Arith(ArithOp::Monus)),
-                    comp(
-                        Sa::ZipF,
-                        pair(comp(Sa::EnumerateF, data), start_per_elem),
-                    ),
+                    comp(Sa::ZipF, pair(comp(Sa::EnumerateF, data), start_per_elem)),
                 );
                 Ok((pair(segs, inner), Type::seq(Type::Nat)))
             }
@@ -751,10 +759,7 @@ pub fn seq_lift(f: &Sa, dom: &Type) -> Res {
                     let data_u = comp(Sa::Pi2, comp(Sa::Pi1, Sa::Pi1));
                     let data_d = comp(Sa::Pi2, comp(Sa::Pi2, Sa::Pi1));
                     let data_x = comp(Sa::Pi2, Sa::Pi2);
-                    let routed = comp(
-                        Sa::BmRouteF,
-                        pair(pair(data_u, data_d), data_x),
-                    );
+                    let routed = comp(Sa::BmRouteF, pair(pair(data_u, data_d), data_x));
                     Ok((pair(segs_u, routed), Type::seq((**sv).clone())))
                 }
                 _ => Err(stuck("seq_lift bm_route domain")),
@@ -936,7 +941,10 @@ pub fn gather_sorted() -> Sa {
             Sa::ZipF,
             pair(
                 comp(Sa::EnumerateF, padded.clone()),
-                comp(bcast_over(), pair(padded.clone(), comp(Sa::LengthF, p.clone()))),
+                comp(
+                    bcast_over(),
+                    pair(padded.clone(), comp(Sa::LengthF, p.clone())),
+                ),
             ),
         ),
     );
@@ -973,7 +981,10 @@ pub(crate) fn seq_while(t: &Type, sp: Sa, sg: Sa) -> Res {
     let kf = comp(Sa::Pi1, comp(sp, act.clone()));
     let body = {
         let kfv = kf.clone();
-        let fin_idx = comp(pack_leaf_false(&Type::Nat), pair(act_idx.clone(), kfv.clone()));
+        let fin_idx = comp(
+            pack_leaf_false(&Type::Nat),
+            pair(act_idx.clone(), kfv.clone()),
+        );
         let keep_idx = comp(pack_leaf(&Type::Nat), pair(act_idx.clone(), kfv.clone()));
         let fin = comp(pack_enc_false(t)?, pair(kfv.clone(), act.clone()));
         let keep = comp(pack_enc(t)?, pair(kfv, act.clone()));
@@ -1002,9 +1013,9 @@ pub(crate) fn seq_while(t: &Type, sp: Sa, sg: Sa) -> Res {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::apply_sa;
     use super::super::seq::{decode_batch, encode_batch};
+    use super::*;
     use nsc_core::value::Value;
 
     fn nats(ns: &[u64]) -> Value {
@@ -1038,15 +1049,9 @@ mod tests {
     #[test]
     fn merge_leaf_degenerate_sides() {
         let f = merge_leaf(&Type::Nat);
-        let all_true = Value::pair(
-            flags(&[true, true]),
-            Value::pair(nats(&[1, 2]), nats(&[])),
-        );
+        let all_true = Value::pair(flags(&[true, true]), Value::pair(nats(&[1, 2]), nats(&[])));
         assert_eq!(apply_sa(&f, &all_true).unwrap().0, nats(&[1, 2]));
-        let all_false = Value::pair(
-            flags(&[false]),
-            Value::pair(nats(&[]), nats(&[9])),
-        );
+        let all_false = Value::pair(flags(&[false]), Value::pair(nats(&[]), nats(&[9])));
         assert_eq!(apply_sa(&f, &all_false).unwrap().0, nats(&[9]));
     }
 
@@ -1246,10 +1251,7 @@ pub fn seq_while_staged(t: &Type, sp: Sa, sg: Sa, k: u32) -> Res {
         let act = Sa::Pi2;
         let kf = comp(Sa::Pi1, comp(sp.clone(), act.clone()));
         let keep = comp(pack_enc(t)?, pair(kf, act.clone()));
-        let pred = comp(
-            not_flat(),
-            comp(Sa::EmptyTest, comp(zl.clone(), act)),
-        );
+        let pred = comp(not_flat(), comp(Sa::EmptyTest, comp(zl.clone(), act)));
         let body = pair(
             comp(
                 maps(sb::comp(
@@ -1338,7 +1340,10 @@ pub fn seq_while_staged(t: &Type, sp: Sa, sg: Sa, k: u32) -> Res {
         let post = pair(
             pair(
                 uc,
-                pair(ia, pair(Sa::EmptyF(Type::Nat), comp(empty_enc(t)?, Sa::Bang))),
+                pair(
+                    ia,
+                    pair(Sa::EmptyF(Type::Nat), comp(empty_enc(t)?, Sa::Bang)),
+                ),
             ),
             pair(
                 comp(Sa::AppendF, pair(v2i, v1i)),
@@ -1370,9 +1375,9 @@ pub fn seq_while_staged(t: &Type, sp: Sa, sg: Sa, k: u32) -> Res {
 
 #[cfg(test)]
 mod staged_tests {
-    use super::*;
     use super::super::apply_sa;
     use super::super::seq::{decode_batch, encode_batch};
+    use super::*;
     use nsc_core::ast::{ArithOp, CmpOp};
     use nsc_core::value::Value;
 
@@ -1413,16 +1418,18 @@ mod staged_tests {
     #[test]
     fn staged_while_agrees_with_simple() {
         let (sp, sg, t) = halver();
-        let batch = vec![nats(&[8]), nats(&[0]), nats(&[100]), nats(&[3]), nats(&[17])];
+        let batch = vec![
+            nats(&[8]),
+            nats(&[0]),
+            nats(&[100]),
+            nats(&[3]),
+            nats(&[17]),
+        ];
         let enc = encode_batch(&batch, &t).unwrap();
         for k in 1..=3 {
             let (staged, _) = seq_while_staged(&t, sp.clone(), sg.clone(), k).unwrap();
             let (o, _) = apply_sa(&staged, &enc).unwrap();
-            assert_eq!(
-                decode_batch(&o, &t).unwrap(),
-                vec![nats(&[0]); 5],
-                "k={k}"
-            );
+            assert_eq!(decode_batch(&o, &t).unwrap(), vec![nats(&[0]); 5], "k={k}");
         }
     }
 
@@ -1437,10 +1444,16 @@ mod staged_tests {
         );
         let p = comp(
             not_flat(),
-            comp(Sa::EmptyTest,
-                comp(Sa::Sigma1, maps(sb::comp(
-                    sb::cases(Scalar::InlS(Type::Unit), Scalar::InrS(Type::Unit)),
-                    sb::comp(gt0, Scalar::Id))))),
+            comp(
+                Sa::EmptyTest,
+                comp(
+                    Sa::Sigma1,
+                    maps(sb::comp(
+                        sb::cases(Scalar::InlS(Type::Unit), Scalar::InrS(Type::Unit)),
+                        sb::comp(gt0, Scalar::Id),
+                    )),
+                ),
+            ),
         );
         let g = maps(sb::comp(
             Scalar::Arith(ArithOp::Monus),
@@ -1452,12 +1465,21 @@ mod staged_tests {
         let (staged, _) = seq_while_staged(&t, sp, sg, 2).unwrap();
         for (fatlen, rounds) in [(60u64, 200u64), (60, 800), (200, 800), (60, 3000)] {
             let batch: Vec<Value> = (0..16u64)
-                .map(|i| if i == 7 { nats(&[rounds]) } else { nats(&vec![1u64; fatlen as usize]) })
+                .map(|i| {
+                    if i == 7 {
+                        nats(&[rounds])
+                    } else {
+                        nats(&vec![1u64; fatlen as usize])
+                    }
+                })
                 .collect();
             let enc = encode_batch(&batch, &t).unwrap();
             let (_, cs) = apply_sa(&simple, &enc).unwrap();
             let (_, cg) = apply_sa(&staged, &enc).unwrap();
-            eprintln!("fat={fatlen} R={rounds}: simple W={} staged W={}", cs.work, cg.work);
+            eprintln!(
+                "fat={fatlen} R={rounds}: simple W={} staged W={}",
+                cs.work, cg.work
+            );
         }
     }
 

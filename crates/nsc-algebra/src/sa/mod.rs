@@ -546,7 +546,10 @@ mod tests {
             Scalar::InrS(Type::Unit),
         ));
         // head > 0  <=>  sigma1(tagged) nonempty  <=>  not(empty?)
-        let not = sum(comp(Sa::InrF(Type::Unit), Sa::Bang), comp(Sa::InlF(Type::Unit), Sa::Bang));
+        let not = sum(
+            comp(Sa::InrF(Type::Unit), Sa::Bang),
+            comp(Sa::InlF(Type::Unit), Sa::Bang),
+        );
         let pred = comp(not, comp(Sa::EmptyTest, comp(Sa::Sigma1, positive)));
         let dec = maps(scalar::b::comp(
             Scalar::Arith(ArithOp::Monus),

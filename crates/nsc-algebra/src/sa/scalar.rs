@@ -217,6 +217,9 @@ mod tests {
     fn scalar_type_recognition() {
         assert!(is_scalar_type(&Type::prod(Type::Nat, Type::bool_())));
         assert!(!is_scalar_type(&Type::seq(Type::Nat)));
-        assert!(!is_scalar_type(&Type::prod(Type::Nat, Type::seq(Type::Unit))));
+        assert!(!is_scalar_type(&Type::prod(
+            Type::Nat,
+            Type::seq(Type::Unit)
+        )));
     }
 }

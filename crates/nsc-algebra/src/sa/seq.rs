@@ -64,7 +64,10 @@ pub fn encode_batch(vals: &[Value], t: &Type) -> Result<Value, E> {
                 lefts.push(x.clone());
                 rights.push(y.clone());
             }
-            Ok(Value::pair(encode_batch(&lefts, a)?, encode_batch(&rights, b)?))
+            Ok(Value::pair(
+                encode_batch(&lefts, a)?,
+                encode_batch(&rights, b)?,
+            ))
         }
         Type::Sum(a, b) => {
             let mut tags = Vec::with_capacity(vals.len());

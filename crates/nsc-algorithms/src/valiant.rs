@@ -36,10 +36,7 @@ pub fn rank_one(a: Term, b: Term) -> Term {
     let av = gensym("a");
     let bv = gensym("b");
     let body = length(app(
-        nsc_core::stdlib::basic::filter(
-            lam(&bv, le(var(&bv), var(&av))),
-            &Type::Nat,
-        ),
+        nsc_core::stdlib::basic::filter(lam(&bv, le(var(&bv), var(&av))), &Type::Nat),
         b,
     ));
     let_in(&av, a, body)
@@ -49,11 +46,7 @@ pub fn rank_one(a: Term, b: Term) -> Term {
 pub fn direct_rank(a: Term, b: Term) -> Term {
     let bv = gensym("B");
     let x = gensym("x");
-    let_in(
-        &bv,
-        b,
-        app(map(lam(&x, rank_one(var(&x), var(&bv)))), a),
-    )
+    let_in(&bv, b, app(map(lam(&x, rank_one(var(&x), var(&bv)))), a))
 }
 
 /// `sqrt_positions(C)` — every `bs`-th element of `C`,
@@ -63,10 +56,7 @@ pub fn sqrt_positions(c: Term) -> Term {
     let bs = gensym("bs");
     let i = gensym("i");
     let positions = app(
-        nsc_core::stdlib::basic::filter(
-            lam(&i, eq(modulo(var(&i), var(&bs)), nat(0))),
-            &Type::Nat,
-        ),
+        nsc_core::stdlib::basic::filter(lam(&i, eq(modulo(var(&i), var(&bs)), nat(0))), &Type::Nat),
         enumerate(var(&cv)),
     );
     let_in(
@@ -106,11 +96,7 @@ fn sample_positions(c: Term) -> Term {
 /// yields an empty head segment plus the `√`-blocks.
 pub fn sqrt_split(c: Term) -> Term {
     let cv = gensym("C");
-    let_in(
-        &cv,
-        c,
-        index_split(var(&cv), sample_positions(var(&cv))),
-    )
+    let_in(&cv, c, index_split(var(&cv), sample_positions(var(&cv))))
 }
 
 /// `direct_merge(A, B)` (Figure 2): rank every `aᵢ` in `B`, cut `B` at the
@@ -126,14 +112,8 @@ pub fn direct_merge(a: Term, b: Term) -> Term {
         append(
             nsc_core::stdlib::lists::first(var(&bb), &seq_ty()),
             flatten(app(
-                map(lam(
-                    &q,
-                    append(singleton(fst(var(&q))), snd(var(&q))),
-                )),
-                zip(
-                    var(&av),
-                    nsc_core::stdlib::lists::tail(var(&bb), &seq_ty()),
-                ),
+                map(lam(&q, append(singleton(fst(var(&q))), snd(var(&q))))),
+                zip(var(&av), nsc_core::stdlib::lists::tail(var(&bb), &seq_ty())),
             )),
         ),
     );
@@ -189,10 +169,7 @@ pub fn merge_def() -> MapRecDef {
                                     let_in(
                                         &rr,
                                         app(
-                                            map(lam(
-                                                &q,
-                                                rank_one(fst(var(&q)), snd(var(&q))),
-                                            )),
+                                            map(lam(&q, rank_one(fst(var(&q)), snd(var(&q))))),
                                             zip(var(&a_s), var(&blocks)),
                                         ),
                                         let_in(
@@ -211,10 +188,7 @@ pub fn merge_def() -> MapRecDef {
                                                 )),
                                                 zip(var(&r_s), var(&rr)),
                                             ),
-                                            zip(
-                                                sqrt_split(var(&a)),
-                                                index_split(var(&b), var(&r)),
-                                            ),
+                                            zip(sqrt_split(var(&a)), index_split(var(&b), var(&r))),
                                         ),
                                     ),
                                 ),
@@ -253,16 +227,8 @@ fn mergesort_def_with(merge_f: Func, name: &str) -> MapRecDef {
                 &h,
                 rshift(length(var(&x)), nat(1)),
                 append(
-                    singleton(nsc_core::stdlib::lists::take(
-                        var(&x),
-                        var(&h),
-                        &Type::Nat,
-                    )),
-                    singleton(nsc_core::stdlib::lists::drop(
-                        var(&x),
-                        var(&h),
-                        &Type::Nat,
-                    )),
+                    singleton(nsc_core::stdlib::lists::take(var(&x), var(&h), &Type::Nat)),
+                    singleton(nsc_core::stdlib::lists::drop(var(&x), var(&h), &Type::Nat)),
                 ),
             ),
         )
@@ -342,10 +308,7 @@ pub fn rank_sort(xs: Term) -> Term {
             )),
         )
     };
-    let ranked = app(
-        map(lam(&q, pair(rank(var(&q)), snd(var(&q))))),
-        var(&e),
-    );
+    let ranked = app(map(lam(&q, pair(rank(var(&q)), snd(var(&q))))), var(&e));
     // output position j takes the element with rank j
     let body = let_in(
         &e,
@@ -364,11 +327,7 @@ pub fn rank_sort(xs: Term) -> Term {
             enumerate(var(&x)),
         ),
     );
-    let_in(
-        &x,
-        xs,
-        app(map(lam(&q, snd(var(&q)))), body),
-    )
+    let_in(&x, xs, app(map(lam(&q, snd(var(&q)))), body))
 }
 
 #[cfg(test)]

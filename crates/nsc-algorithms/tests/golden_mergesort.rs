@@ -10,8 +10,11 @@ use nsc_core::value::Value;
 
 /// Sorts through the direct map-recursion evaluator.
 fn valiant_sort(xs: &[u64]) -> Vec<u64> {
-    let out = eval_maprec(&valiant::mergesort_def(), Value::nat_seq(xs.iter().copied()))
-        .expect("mergesort evaluation failed");
+    let out = eval_maprec(
+        &valiant::mergesort_def(),
+        Value::nat_seq(xs.iter().copied()),
+    )
+    .expect("mergesort evaluation failed");
     out.value.as_nat_seq().expect("mergesort output is not [N]")
 }
 

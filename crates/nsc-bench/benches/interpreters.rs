@@ -1,27 +1,33 @@
 //! Wall-clock cost of the cost-instrumented interpreters themselves
 //! (NSC evaluator vs the compiled-BVRAM route) on a shared workload —
 //! useful for sizing the experiment sweeps.
+//!
+//! Machine-reuse policy (see `benches/wallclock.rs`): the compiled route
+//! runs on one reused machine per benchmark (warm buffers, the serving
+//! steady state) — `run_program_on`-style fresh-machine dispatch is what
+//! `bench_report` measures instead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nsc_core::ast as a;
 use nsc_core::value::Value;
-use nsc_core::Type;
+use nsc_runtime::workloads;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let f = a::map(a::lam("x", a::add(a::mul(a::var("x"), a::var("x")), a::nat(1))));
-    let compiled = nsc_compile::compile_nsc(&f, &Type::seq(Type::Nat)).unwrap();
+    let f = workloads::map_square_plus_one();
+    let compiled = nsc_compile::compile_nsc(&f, &nsc_core::Type::seq(nsc_core::Type::Nat)).unwrap();
     let mut g = c.benchmark_group("interpreters");
     for n in [64u64, 512, 4096] {
         let arg = Value::nat_seq(0..n);
         g.bench_with_input(BenchmarkId::new("nsc_eval", n), &arg, |b, arg| {
             b.iter(|| nsc_core::eval::apply_func(&f, arg.clone()).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("compiled_bvram", n), &arg, |b, arg| {
-            b.iter(|| nsc_compile::run_compiled(&compiled, arg).unwrap());
+        let regs = nsc_compile::pipeline::encode_arg(&arg, &compiled.dom).unwrap();
+        g.bench_with_input(BenchmarkId::new("compiled_bvram", n), &regs, |b, regs| {
+            let mut m = bvram::Machine::new(compiled.program.n_regs);
+            b.iter(|| m.run(&compiled.program, regs).unwrap());
         });
     }
     g.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200)); targets = bench_pipeline}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200)); targets = bench_pipeline}
 criterion_main!(benches);

@@ -2,40 +2,36 @@
 //! suite executed with the pass pipeline off (`O0`) and on (`O1`).  The
 //! `(T', W')` cuts are measured exactly by `exp_opt`; this bench shows
 //! they translate into real interpreter time.
+//!
+//! Machine-reuse policy (see `benches/wallclock.rs`): one reused machine
+//! per benchmark, inputs pre-encoded outside the timed loop, so the O0
+//! vs O1 delta is pure interpreter time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nsc_compile::{compile_nsc_with, run_compiled, OptLevel};
-use nsc_core::ast as a;
+use nsc_compile::{compile_nsc_with, OptLevel};
 use nsc_core::value::Value;
 use nsc_core::Type;
+use nsc_runtime::workloads;
 
 fn bench_optimizer(c: &mut Criterion) {
-    let workloads: Vec<(&str, nsc_core::Func)> = vec![
-        (
-            "map_sq",
-            a::map(a::lam(
-                "x",
-                a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
-            )),
-        ),
-        (
-            "sum",
-            a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x"))),
-        ),
-    ];
     let dom = Type::seq(Type::Nat);
     let mut g = c.benchmark_group("optimizer_ablation");
-    for (name, f) in workloads {
+    for (name, f) in workloads::optimizer_pair() {
         let c0 = compile_nsc_with(&f, &dom, OptLevel::O0).unwrap();
         let c1 = compile_nsc_with(&f, &dom, OptLevel::O1).unwrap();
         for n in [1u64 << 8, 1 << 12] {
             let arg = Value::nat_seq(0..n);
-            g.bench_with_input(BenchmarkId::new(format!("{name}_O0"), n), &arg, |b, arg| {
-                b.iter(|| run_compiled(&c0, arg).unwrap());
-            });
-            g.bench_with_input(BenchmarkId::new(format!("{name}_O1"), n), &arg, |b, arg| {
-                b.iter(|| run_compiled(&c1, arg).unwrap());
-            });
+            for (level, compiled) in [("O0", &c0), ("O1", &c1)] {
+                let regs = nsc_compile::pipeline::encode_arg(&arg, &compiled.dom).unwrap();
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{name}_{level}"), n),
+                    &regs,
+                    |b, regs| {
+                        let mut m = bvram::Machine::new(compiled.program.n_regs);
+                        b.iter(|| m.run(&compiled.program, regs).unwrap());
+                    },
+                );
+            }
         }
     }
     g.finish();

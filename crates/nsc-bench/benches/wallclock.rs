@@ -2,23 +2,19 @@
 //! "needs to be tested in practice".  Criterion compares the sequential
 //! interpreter against the rayon backend across vector sizes; the
 //! crossover (where parallelism starts paying) is visible in the report.
+//!
+//! Machine-reuse policy (shared by all three benches, see
+//! `nsc_runtime::workloads`): each machine is constructed **once per
+//! benchmark** and reused across `b.iter` iterations — warm register
+//! buffers, the serving runtime's steady state.  Nothing here measures
+//! cold-start machine construction.
 
-use bvram::{Builder, Instr::*, Machine, Op, ParMachine};
+use bvram::{Machine, ParMachine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-fn saxpy_like() -> bvram::Program {
-    let mut b = Builder::new(2, 1);
-    // y = 3*x + y, iterated a few times through registers
-    b.push(Arith { dst: 2, op: Op::Mul, a: 0, b: 0 })
-        .push(Arith { dst: 3, op: Op::Add, a: 2, b: 1 })
-        .push(Arith { dst: 2, op: Op::Mul, a: 3, b: 0 })
-        .push(Arith { dst: 0, op: Op::Add, a: 2, b: 3 })
-        .push(Halt);
-    b.build().unwrap()
-}
+use nsc_runtime::workloads;
 
 fn bench_backends(c: &mut Criterion) {
-    let prog = saxpy_like();
+    let prog = workloads::saxpy_like();
     let mut g = c.benchmark_group("bvram_backends");
     for n in [1usize << 10, 1 << 14, 1 << 18, 1 << 21] {
         let x: Vec<u64> = (0..n as u64).collect();
@@ -36,5 +32,5 @@ fn bench_backends(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200)); targets = bench_backends}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200)); targets = bench_backends}
 criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! `bench_report` — the machine-readable batching benchmark behind CI's
+//! `perf-smoke` job.
+//!
+//! Drives every golden `.nsc` example through the batched execution
+//! runtime on both backends at batch sizes {1, 8, 64}, measuring the
+//! sequential baseline (a loop of `B` single runs) against the pack and
+//! lanes disciplines, and writes the records as `BENCH_batch.json` at
+//! the repository root (see `nsc_runtime::bench` for the schema).
+//!
+//! Exit status is the perf gate:
+//!
+//! * every batch mode must be bit-identical to the loop of single runs
+//!   (asserted inside `measure_batches` — a wrong runtime never reports
+//!   a speedup), and
+//! * at `B ≥ 8`, some batch mode must reach ≥ 1.0× over sequential on at
+//!   least one example (batching must never be the *only* option and
+//!   always a loss).
+//!
+//! Usage: `bench_report [--out <path>]` (default `<repo root>/BENCH_batch.json`).
+
+use nsc_compile::{Backend, OptLevel};
+use nsc_core::parse::parse_module;
+use nsc_runtime::{json_report, measure_batches, BatchRunner, BenchRecord, CompiledCache};
+use std::path::{Path, PathBuf};
+
+/// The five golden examples, by file stem.
+const EXAMPLES: [&str; 5] = [
+    "classify",
+    "dot_product",
+    "halve_all",
+    "regroup",
+    "square_plus_one",
+];
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+/// Wall-clock repetitions per cell (best kept).
+const REPS: u32 = 5;
+
+fn repo_root() -> PathBuf {
+    // crates/nsc-bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repository root")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = repo_root().join("BENCH_batch.json");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out_path = PathBuf::from(args.next().expect("--out expects a path")),
+            other => panic!("unknown option `{other}` (usage: bench_report [--out <path>])"),
+        }
+    }
+
+    let cache = CompiledCache::new();
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for stem in EXAMPLES {
+        let path = repo_root().join("examples").join(format!("{stem}.nsc"));
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let module = parse_module(&src).unwrap_or_else(|e| panic!("{stem}.nsc: {e}"));
+        module.check().unwrap_or_else(|e| panic!("{stem}.nsc: {e}"));
+        let entry = if module.get("main").is_some() {
+            "main".to_string()
+        } else {
+            module.defs[0].name.to_string()
+        };
+        let def = module.get(&entry).expect("entry exists");
+        let input = module
+            .input
+            .clone()
+            .unwrap_or_else(|| panic!("{stem}.nsc has no `input` directive"));
+        let pure = module
+            .inlined(&entry)
+            .unwrap_or_else(|e| panic!("{stem}.nsc: {e}"));
+        for backend in [Backend::Seq, Backend::Par] {
+            let runner = BatchRunner::from_cache(&cache, &pure, &def.dom, OptLevel::O1, backend)
+                .unwrap_or_else(|e| panic!("compiling {stem}: {e}"));
+            records.extend(measure_batches(stem, &runner, &input, &BATCH_SIZES, REPS));
+        }
+    }
+
+    // Write the report *before* gating: a failed gate must still leave
+    // the full measurement record behind (CI uploads it `if: always()`),
+    // or the regression that tripped the gate cannot be diagnosed.
+    std::fs::write(&out_path, json_report(&records))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!(
+        "wrote {} records ({} examples x 2 backends x {} batch sizes x 3 modes) to {}",
+        records.len(),
+        EXAMPLES.len(),
+        BATCH_SIZES.len(),
+        out_path.display()
+    );
+
+    // The perf gate: at B >= 8, batching reaches parity somewhere.
+    let best = records
+        .iter()
+        .filter(|r| r.batch >= 8 && r.mode != "sequential")
+        .max_by(|a, b| a.speedup_vs_sequential.total_cmp(&b.speedup_vs_sequential))
+        .expect("records exist");
+    println!(
+        "best batch speedup at B>=8: {:.2}x ({} {} B={} {})",
+        best.speedup_vs_sequential, best.example, best.backend, best.batch, best.mode
+    );
+    assert!(
+        best.speedup_vs_sequential >= 1.0,
+        "no example reached parity with B sequential runs at B>=8"
+    );
+}

@@ -1,0 +1,6 @@
+//! Runs EXP-BATCH: the batched-execution-runtime ablation (bit-identical
+//! outputs, `T'` amortization under pack, compile-once cache).
+
+fn main() {
+    nsc_bench::exp_batch();
+}

@@ -20,7 +20,10 @@ fn row(cols: &[String]) {
 
 fn header(cols: &[&str]) {
     row(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// EXP-FIG123 — Valiant's mergesort (Figures 1–3, section 5):
@@ -88,7 +91,10 @@ pub fn exp_t42() {
     for n in [32u64, 64, 128, 256] {
         let arg = fixtures::range(0, n);
         let d = eval_maprec(&def, arg.clone()).unwrap();
-        let wp = nsc_core::eval::apply_func(&plain, arg.clone()).unwrap().1.work;
+        let wp = nsc_core::eval::apply_func(&plain, arg.clone())
+            .unwrap()
+            .1
+            .work;
         let w2 = nsc_core::eval::apply_func(&translate_staged(&def, 2), arg.clone())
             .unwrap()
             .1
@@ -107,33 +113,11 @@ pub fn exp_t42() {
     }
 }
 
-/// The shared EXP-T71 / EXP-OPT workload suite over `[N]`.
+/// The shared EXP-T71 / EXP-OPT / EXP-BATCH workload suite over `[N]`
+/// (built by the runtime's shared builders so benches and experiments
+/// measure the identical ASTs).
 fn t71_suite() -> Vec<(&'static str, nsc_core::Func)> {
-    use nsc_core::ast as a;
-    vec![
-        (
-            "map(x*x+1)",
-            a::map(a::lam(
-                "x",
-                a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
-            )),
-        ),
-        (
-            "sum (while)",
-            a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x"))),
-        ),
-        (
-            "prefix-sum",
-            a::lam("x", nsc_core::stdlib::numeric::prefix_sum(a::var("x"))),
-        ),
-        (
-            "map(while halve)",
-            a::map(a::while_(
-                a::lam("x", a::lt(a::nat(0), a::var("x"))),
-                a::lam("x", a::rshift(a::var("x"), a::nat(1))),
-            )),
-        ),
-    ]
+    nsc_runtime::workloads::suite()
 }
 
 /// EXP-T71 — Theorem 7.1: the full NSC → BVRAM compilation agrees with the
@@ -145,7 +129,9 @@ pub fn exp_t71() {
     println!("claim: outputs agree; T' = O(T); registers independent of input");
     println!("(T'0/W'0 = unoptimized, T'1/W'1 = default optimizer)\n");
     use nsc_compile::OptLevel;
-    header(&["program", "n", "T", "T'0", "T'1", "T'1/T", "W", "W'0", "W'1", "regs"]);
+    header(&[
+        "program", "n", "T", "T'0", "T'1", "T'1/T", "W", "W'0", "W'1", "regs",
+    ]);
     for (name, f) in t71_suite() {
         let dom = Type::seq(Type::Nat);
         let c0 = nsc_compile::compile_nsc_with(&f, &dom, OptLevel::O0).unwrap();
@@ -217,7 +203,10 @@ pub fn exp_opt() {
                 n.to_string(),
                 t0.time.to_string(),
                 t1.time.to_string(),
-                format!("{:.1}%", 100.0 * (1.0 - t1.time as f64 / t0.time.max(1) as f64)),
+                format!(
+                    "{:.1}%",
+                    100.0 * (1.0 - t1.time as f64 / t0.time.max(1) as f64)
+                ),
                 t0.work.to_string(),
                 t1.work.to_string(),
                 format!("{w_cut:.1}%", w_cut = 100.0 * w_cut),
@@ -231,6 +220,94 @@ pub fn exp_opt() {
         best_w_cut >= 0.15,
         "optimizer must cut W' by >= 15% on at least one workload (best {:.1}%)",
         100.0 * best_w_cut
+    );
+}
+
+/// EXP-BATCH — the batched execution runtime: for each suite workload
+/// and batch size, the aggregate machine cost of a loop of `B` single
+/// runs vs the pack (fused `map(f)` kernel) and lanes disciplines.
+///
+/// Deterministic acceptance gates (machine costs, not wall-clock, so
+/// this is CI-stable):
+///
+/// * every batch mode is bit-identical to the loop of single runs;
+/// * pack amortizes `T'`: at `B = 64` the fused run's `T'` beats the
+///   sequential loop's `Σ T'` on every *loop-free* workload (and on at
+///   least one workload overall);
+/// * the cached entry is compiled once per (workload, backend).
+pub fn exp_batch() {
+    println!("\n## EXP-BATCH: batched execution (pack vs lanes vs B single runs)\n");
+    println!("claim: bit-identical outputs; fused T' ~ amortized; compile-once cache\n");
+    use nsc_compile::{Backend, OptLevel};
+    use nsc_runtime::{BatchMode, BatchRunner, CompiledCache};
+    header(&[
+        "program",
+        "B",
+        "T' loop",
+        "T' pack",
+        "T' lanes",
+        "W' loop",
+        "W' pack",
+        "W' lanes",
+        "pack fused",
+    ]);
+    let cache = CompiledCache::new();
+    let mut amortized = 0usize;
+    for (name, f) in t71_suite() {
+        let dom = Type::seq(Type::Nat);
+        let runner =
+            BatchRunner::from_cache(&cache, &f, &dom, OptLevel::O1, Backend::Seq).expect(name);
+        let mut packed_beats_loop_at_64 = false;
+        for b in [1usize, 8, 64] {
+            let inputs: Vec<Value> = (0..b as u64)
+                .map(|i| Value::nat_seq((0..16).map(move |j| (i * 17 + j * 3) % 29)))
+                .collect();
+            let singles: Vec<_> = inputs
+                .iter()
+                .map(|v| runner.run_single(v).expect(name))
+                .collect();
+            let loop_cost = singles
+                .iter()
+                .fold(nsc_core::Cost::ZERO, |acc, (_, c)| acc + *c);
+            let pack = runner.run_batch_mode(&inputs, BatchMode::Pack);
+            let lanes = runner.run_batch_mode(&inputs, BatchMode::Lanes);
+            for (mode, out) in [("pack", &pack), ("lanes", &lanes)] {
+                for (i, r) in out.results.iter().enumerate() {
+                    assert_eq!(
+                        r.as_ref().ok(),
+                        Some(&singles[i].0),
+                        "{name} B={b} {mode}: request {i} diverges"
+                    );
+                }
+            }
+            if b == 64 && pack.fused && pack.cost.time < loop_cost.time {
+                packed_beats_loop_at_64 = true;
+            }
+            row(&[
+                name.to_string(),
+                b.to_string(),
+                loop_cost.time.to_string(),
+                pack.cost.time.to_string(),
+                lanes.cost.time.to_string(),
+                loop_cost.work.to_string(),
+                pack.cost.work.to_string(),
+                lanes.cost.work.to_string(),
+                pack.fused.to_string(),
+            ]);
+        }
+        if packed_beats_loop_at_64 {
+            amortized += 1;
+        }
+    }
+    println!("\nworkloads where fused T' beats the B=64 loop: {amortized}/4");
+    assert!(
+        amortized >= 1,
+        "pack must amortize T' on at least one workload"
+    );
+    assert_eq!(
+        cache.compiles(),
+        t71_suite().len(),
+        "one compilation per (workload, backend) key"
     );
 }
 
@@ -390,11 +467,11 @@ pub fn exp_l72() {
 pub fn exp_l72_staging() {
     println!("\n## EXP-L72b: Lemma 7.2 staging ablation (simple vs V1/V2)\n");
     println!("claim: staging trades a 2x probe for per-stage (not per-round) buffer flushes\n");
+    use nsc_algebra::sa::b::*;
     use nsc_algebra::sa::map_lemma::{seq_lift, seq_while_staged};
     use nsc_algebra::sa::scalar::{b as sb, Scalar};
-    use nsc_algebra::sa::b::*;
-    use nsc_algebra::sa::Sa;
     use nsc_algebra::sa::seq::encode_batch;
+    use nsc_algebra::sa::Sa;
     use nsc_core::ast::{ArithOp, CmpOp};
     let t = Type::seq(Type::Nat);
     let gt0 = sb::comp(
@@ -420,9 +497,16 @@ pub fn exp_l72_staging() {
     ));
     let (sp, _) = seq_lift(&p, &t).unwrap();
     let (sg, _) = seq_lift(&g, &t).unwrap();
-    let (simple, _) = nsc_algebra::sa::map_lemma::seq_while_simple(&t, sp.clone(), sg.clone()).unwrap();
+    let (simple, _) =
+        nsc_algebra::sa::map_lemma::seq_while_simple(&t, sp.clone(), sg.clone()).unwrap();
     let (staged, _) = seq_while_staged(&t, sp, sg, 2).unwrap();
-    header(&["fat payload", "straggler R", "W simple", "W staged k=2", "staged/simple"]);
+    header(&[
+        "fat payload",
+        "straggler R",
+        "W simple",
+        "W staged k=2",
+        "staged/simple",
+    ]);
     for (fat, rounds) in [(60u64, 200u64), (60, 800), (200, 800), (200, 2000)] {
         let batch: Vec<Value> = (0..16u64)
             .map(|i| {
@@ -475,6 +559,7 @@ pub fn run_all() {
     exp_t42();
     exp_t71();
     exp_opt();
+    exp_batch();
     exp_p21();
     exp_p32();
     exp_p62();

@@ -81,8 +81,14 @@ impl Gen {
         let len = self.alloc();
         let single = self.alloc();
         let out = self.alloc();
-        self.emit(Instr::Length { dst: len, src: like });
-        self.emit(Instr::Singleton { dst: single, n: val });
+        self.emit(Instr::Length {
+            dst: len,
+            src: like,
+        });
+        self.emit(Instr::Singleton {
+            dst: single,
+            n: val,
+        });
         self.emit(Instr::BmRoute {
             dst: out,
             bound: like,
@@ -131,7 +137,10 @@ impl Gen {
         let e = self.alloc();
         self.emit(Instr::Enumerate { dst: e, src: field });
         let len = self.alloc();
-        self.emit(Instr::Length { dst: len, src: field });
+        self.emit(Instr::Length {
+            dst: len,
+            src: field,
+        });
         let bcast = self.alloc();
         self.emit(Instr::BmRoute {
             dst: bcast,
@@ -722,10 +731,9 @@ pub fn compile_sa(f: &Sa, dom: &Type) -> Result<(Program, Type), E> {
         });
     }
     g.emit(Instr::Halt);
-    let mut prog = g
-        .b
-        .build()
-        .map_err(|e| E::MachineFault(format!("codegen emitted a malformed program: {e}")))?;
+    let mut prog =
+        g.b.build()
+            .map_err(|e| E::MachineFault(format!("codegen emitted a malformed program: {e}")))?;
     prog.r_out = outs.len();
     Ok((prog, cod))
 }
@@ -791,8 +799,16 @@ mod tests {
             Value::inr(Value::nat(5)),
             Value::inl(Value::nat(2)),
         ]);
-        check(&Sa::Sigma1, &Type::seq(Type::sum(Type::Nat, Type::Nat)), mixed.clone());
-        check(&Sa::Sigma2, &Type::seq(Type::sum(Type::Nat, Type::Nat)), mixed);
+        check(
+            &Sa::Sigma1,
+            &Type::seq(Type::sum(Type::Nat, Type::Nat)),
+            mixed.clone(),
+        );
+        check(
+            &Sa::Sigma2,
+            &Type::seq(Type::sum(Type::Nat, Type::Nat)),
+            mixed,
+        );
     }
 
     #[test]
@@ -842,7 +858,11 @@ mod tests {
 
     #[test]
     fn prefix_sum_codegen() {
-        check(&Sa::PrefixSum, &Type::seq(Type::Nat), nats(&[3, 1, 4, 1, 5, 9, 2, 6]));
+        check(
+            &Sa::PrefixSum,
+            &Type::seq(Type::Nat),
+            nats(&[3, 1, 4, 1, 5, 9, 2, 6]),
+        );
         check(&Sa::PrefixSum, &Type::seq(Type::Nat), nats(&[]));
         check(&Sa::PrefixSum, &Type::seq(Type::Nat), nats(&[42]));
     }

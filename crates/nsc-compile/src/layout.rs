@@ -78,7 +78,10 @@ pub fn scalar_to_fields(v: &Value, s: &Type, out: &mut Vec<u64>) -> Result<(), E
 pub fn scalar_from_fields(fields: &[u64], s: &Type) -> Result<(Value, usize), E> {
     match s {
         Type::Unit => Ok((Value::unit(), 1)),
-        Type::Nat => Ok((Value::nat(*fields.first().ok_or(E::Stuck("field underrun"))?), 1)),
+        Type::Nat => Ok((
+            Value::nat(*fields.first().ok_or(E::Stuck("field underrun"))?),
+            1,
+        )),
         Type::Prod(a, b) => {
             let (x, na) = scalar_from_fields(fields, a)?;
             let (y, nb) = scalar_from_fields(&fields[na..], b)?;

@@ -251,7 +251,11 @@ pub fn coalesce_moves(prog: &mut Program) -> bool {
         if (pinned[rd as usize] && pinned[rs as usize]) || adj[rd as usize].contains(&rs) {
             continue;
         }
-        let (rep, gone) = if pinned[rd as usize] { (rd, rs) } else { (rs, rd) };
+        let (rep, gone) = if pinned[rd as usize] {
+            (rd, rs)
+        } else {
+            (rs, rd)
+        };
         uf.parent[gone as usize] = rep;
         pinned[rep as usize] |= pinned[gone as usize];
         // Merge adjacency: everything touching `gone` now touches `rep`.

@@ -33,7 +33,9 @@ pub fn eliminate_dead(prog: &mut Program) -> bool {
         }
     }
     let mut deleted = vec![false; n];
-    let mut worklist: Vec<usize> = (prog.r_out..prog.n_regs).filter(|r| uses[*r] == 0).collect();
+    let mut worklist: Vec<usize> = (prog.r_out..prog.n_regs)
+        .filter(|r| uses[*r] == 0)
+        .collect();
     while let Some(r) = worklist.pop() {
         for &i in &defs[r] {
             if deleted[i] || can_fault(&prog.instrs[i]) {

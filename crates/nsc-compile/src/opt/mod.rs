@@ -35,7 +35,7 @@ pub mod local;
 use bvram::{Instr, Program};
 
 /// How hard [`optimize`] works.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OptLevel {
     /// No optimization: the program exactly as the code generator emitted
     /// it (useful as a differential baseline).
@@ -140,7 +140,11 @@ pub fn compact_registers(prog: &mut Program) -> bool {
         }
     }
     let new_n = next as usize;
-    if new_n == prog.n_regs && map.iter().enumerate().all(|(r, m)| *m == u32::MAX || *m == r as u32)
+    if new_n == prog.n_regs
+        && map
+            .iter()
+            .enumerate()
+            .all(|(r, m)| *m == u32::MAX || *m == r as u32)
     {
         return false;
     }
@@ -175,7 +179,10 @@ mod tests {
         let opt = optimize(prog.clone(), OptLevel::O1);
         match (run_program(prog, inputs), run_program(&opt, inputs)) {
             (Ok(a), Ok(b)) => {
-                assert_eq!(a.outputs, b.outputs, "optimizer changed outputs\n{prog}\n{opt}");
+                assert_eq!(
+                    a.outputs, b.outputs,
+                    "optimizer changed outputs\n{prog}\n{opt}"
+                );
                 assert!(
                     b.stats.time <= a.stats.time && b.stats.work <= a.stats.work,
                     "optimizer made the program costlier: {:?} -> {:?}\n{prog}\n{opt}",
@@ -220,7 +227,11 @@ mod tests {
         let p = b.build().unwrap();
         let opt = check_optimized(&p, &[vec![9; 7]]);
         // One length feeds both outputs; the second is dead and removed.
-        let lengths = opt.instrs.iter().filter(|i| matches!(i, Length { .. })).count();
+        let lengths = opt
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Length { .. }))
+            .count();
         assert_eq!(lengths, 1, "{opt}");
     }
 
@@ -243,7 +254,9 @@ mod tests {
         check_optimized(&p, &[]);
         let opt = optimize(p.clone(), OptLevel::O1);
         assert!(
-            opt.instrs.iter().any(|i| matches!(i, Arith { op: Op::Div, .. })),
+            opt.instrs
+                .iter()
+                .any(|i| matches!(i, Arith { op: Op::Div, .. })),
             "fault-capable instruction must survive: {opt}"
         );
     }
@@ -307,7 +320,9 @@ mod tests {
     #[test]
     fn o0_is_identity() {
         let mut b = Builder::new(1, 1);
-        b.push(Move { dst: 3, src: 0 }).push(Move { dst: 0, src: 3 }).push(Halt);
+        b.push(Move { dst: 3, src: 0 })
+            .push(Move { dst: 0, src: 3 })
+            .push(Halt);
         let p = b.build().unwrap();
         let same = optimize(p.clone(), OptLevel::O0);
         assert_eq!(same.instrs, p.instrs);

@@ -14,7 +14,7 @@
 use crate::codegen::compile_sa;
 use crate::layout::{regs_to_value, value_to_regs};
 use crate::opt::{optimize, OptLevel};
-use bvram::{Machine, MachineError, ParMachine, Program};
+use bvram::{Machine, MachineError, ParMachine, Program, RunOutcome, StaticCost, Vector};
 use nsc_algebra::nsa::from_nsc::func_to_nsa;
 use nsc_algebra::sa::flatten::{compile, compile_type, decode, encode};
 use nsc_core::cost::Cost;
@@ -32,6 +32,23 @@ pub struct Compiled {
     pub dom: Type,
     /// NSC codomain type.
     pub cod: Type,
+    /// Input-independent `T'`/`W'` summary of the optimized program (what
+    /// the compiled-program cache stores and the batch runtime's
+    /// pack-vs-lanes decision reads).
+    pub stat: StaticCost,
+}
+
+impl Compiled {
+    /// Wraps an already-built program, computing its static analysis.
+    pub fn from_parts(program: Program, dom: Type, cod: Type) -> Compiled {
+        let stat = StaticCost::of(&program);
+        Compiled {
+            program,
+            dom,
+            cod,
+            stat,
+        }
+    }
 }
 
 /// Compiles a closed NSC function `f : dom → cod` down to the BVRAM at
@@ -59,14 +76,13 @@ pub fn compile_nsc_with(f: &Func, dom: &Type, level: OptLevel) -> Result<Compile
         )));
     }
     let program = optimize(program, level);
-    Ok(Compiled {
-        program,
-        dom: dom.clone(),
-        cod,
-    })
+    Ok(Compiled::from_parts(program, dom.clone(), cod))
 }
 
 /// Maps a machine error onto the NSC-level error semantics.
+///
+/// Public so execution paths outside this module (the `nsc-runtime`
+/// batch runner) classify machine faults identically to [`run_compiled`].
 ///
 /// Only two machine faults correspond to source-level behavior: an
 /// arithmetic fault is how the code generator models `Ω` (and division by
@@ -75,7 +91,7 @@ pub fn compile_nsc_with(f: &Func, dom: &Type, level: OptLevel) -> Result<Compile
 /// off the end — means the *compiler* emitted bad code and is reported as
 /// [`E::MachineFault`] so it can never masquerade as legitimate
 /// nontermination.
-fn machine_error_to_eval(e: MachineError) -> E {
+pub fn eval_error_of(e: MachineError) -> E {
     match e {
         MachineError::Arithmetic { .. } | MachineError::StepLimit => E::Omega,
         other => E::MachineFault(other.to_string()),
@@ -83,7 +99,7 @@ fn machine_error_to_eval(e: MachineError) -> E {
 }
 
 /// Which BVRAM interpreter executes a compiled program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// The sequential reference interpreter ([`Machine`]).
     #[default]
@@ -111,16 +127,43 @@ pub fn run_compiled(c: &Compiled, arg: &Value) -> Result<(Value, Cost), E> {
 
 /// [`run_compiled`] on a chosen [`Backend`].
 pub fn run_compiled_on(c: &Compiled, arg: &Value, backend: Backend) -> Result<(Value, Cost), E> {
-    let enc = encode(arg, &c.dom)?;
-    let regs = value_to_regs(&enc, &compile_type(&c.dom))?;
-    let out = match backend {
-        Backend::Seq => Machine::new(c.program.n_regs).run_owned(&c.program, regs),
-        Backend::Par => ParMachine::new(c.program.n_regs).run_owned(&c.program, regs),
-    }
-    .map_err(machine_error_to_eval)?;
-    let flat = regs_to_value(&out.outputs, &compile_type(&c.cod))?;
-    let val = decode(&flat, &c.cod)?;
+    let regs = encode_arg(arg, &c.dom)?;
+    let out = run_program_on(&c.program, regs, backend)?;
+    let val = decode_result(&out.outputs, &c.cod)?;
     Ok((val, Cost::new(out.stats.time, out.stats.work)))
+}
+
+/// Encodes an NSC argument of type `dom` into the program's input
+/// registers (`COMPILE(dom)` flattening + the fixed register layout).
+///
+/// Split out of [`run_compiled_on`] so callers that run the same program
+/// many times — the batch runtime — can encode on one thread and execute
+/// elsewhere (register vectors are plain `Vec<u64>`s, hence `Send`,
+/// unlike [`Value`]).
+pub fn encode_arg(arg: &Value, dom: &Type) -> Result<Vec<Vector>, E> {
+    let enc = encode(arg, dom)?;
+    value_to_regs(&enc, &compile_type(dom))
+}
+
+/// Decodes a program's output registers back into an NSC value of type
+/// `cod` (the inverse half of [`encode_arg`]).
+pub fn decode_result(outputs: &[Vector], cod: &Type) -> Result<Value, E> {
+    let flat = regs_to_value(outputs, &compile_type(cod))?;
+    decode(&flat, cod)
+}
+
+/// Executes a program on already-encoded input registers, on a chosen
+/// backend, mapping machine faults onto NSC error semantics.
+pub fn run_program_on(
+    prog: &Program,
+    regs: Vec<Vector>,
+    backend: Backend,
+) -> Result<RunOutcome, E> {
+    match backend {
+        Backend::Seq => Machine::new(prog.n_regs).run_owned(prog, regs),
+        Backend::Par => ParMachine::new(prog.n_regs).run_owned(prog, regs),
+    }
+    .map_err(eval_error_of)
 }
 
 /// Differential run: NSC evaluator vs compiled BVRAM; returns
@@ -151,8 +194,7 @@ mod tests {
     #[test]
     fn map_end_to_end() {
         let f = a::map(a::lam("x", a::mul(a::var("x"), a::nat(3))));
-        let (v, _, _) =
-            differential(&f, &Type::seq(Type::Nat), Value::nat_seq(0..8)).unwrap();
+        let (v, _, _) = differential(&f, &Type::seq(Type::Nat), Value::nat_seq(0..8)).unwrap();
         assert_eq!(v, Value::nat_seq((0..8).map(|x| 3 * x)));
     }
 
@@ -183,8 +225,7 @@ mod tests {
     #[test]
     fn stdlib_sum_end_to_end() {
         let f = a::lam("x", stdlib::numeric::sum_seq(a::var("x")));
-        let (v, src, tgt) =
-            differential(&f, &Type::seq(Type::Nat), Value::nat_seq(0..20)).unwrap();
+        let (v, src, tgt) = differential(&f, &Type::seq(Type::Nat), Value::nat_seq(0..20)).unwrap();
         assert_eq!(v, Value::nat(190));
         assert!(tgt.time > 0 && src.time > 0);
     }
@@ -237,11 +278,7 @@ mod tests {
                 values: 1,
             })
             .push(Instr::Halt);
-        let broken = Compiled {
-            program: b.build().unwrap(),
-            dom: good.dom.clone(),
-            cod: good.cod.clone(),
-        };
+        let broken = Compiled::from_parts(b.build().unwrap(), good.dom.clone(), good.cod.clone());
         let err = run_compiled(&broken, &Value::nat_seq([1, 2, 3])).unwrap_err();
         assert!(
             matches!(err, E::MachineFault(_)),
@@ -292,7 +329,10 @@ mod tests {
         let suite: Vec<(&str, nsc_core::Func)> = vec![
             (
                 "square+1",
-                a::map(a::lam("x", a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)))),
+                a::map(a::lam(
+                    "x",
+                    a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+                )),
             ),
             (
                 "tree-sum",
@@ -352,7 +392,11 @@ mod tests {
             let (vs, cs) = run_compiled_on(&c, &arg, Backend::Seq).unwrap();
             let (vp, cp) = run_compiled_on(&c, &arg, Backend::Par).unwrap();
             assert_eq!(vs, vp, "outputs diverge at n={n}");
-            assert_eq!((cs.time, cs.work), (cp.time, cp.work), "stats diverge at n={n}");
+            assert_eq!(
+                (cs.time, cs.work),
+                (cp.time, cp.work),
+                "stats diverge at n={n}"
+            );
         }
     }
 

@@ -73,7 +73,11 @@ impl ArithOp {
             ArithOp::Lshift => m.checked_shl(n as u32),
             ArithOp::Min => Some(m.min(n)),
             ArithOp::Max => Some(m.max(n)),
-            ArithOp::Log2 => Some(if m == 0 { 0 } else { 63 - m.leading_zeros() as u64 }),
+            ArithOp::Log2 => Some(if m == 0 {
+                0
+            } else {
+                63 - m.leading_zeros() as u64
+            }),
         }
     }
 
@@ -686,7 +690,10 @@ mod tests {
             inl(unit(), crate::types::Type::Unit),
             inl(unit(), crate::types::Type::Nat)
         );
-        assert_ne!(lam("x", var("x")), lam_t("x", crate::types::Type::Nat, var("x")));
+        assert_ne!(
+            lam("x", var("x")),
+            lam_t("x", crate::types::Type::Nat, var("x"))
+        );
     }
 
     #[test]

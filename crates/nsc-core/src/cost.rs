@@ -32,7 +32,10 @@ impl Cost {
 
     /// Cost of a single rule application touching objects of total size `size`.
     pub fn rule(size: u64) -> Cost {
-        Cost { time: 1, work: size }
+        Cost {
+            time: 1,
+            work: size,
+        }
     }
 
     /// Constructs a cost from components.

@@ -39,7 +39,10 @@ impl fmt::Display for TypeError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             TypeError::WrongShape { context, found } => {
                 write!(f, "wrong type shape in {context}: found {found}")
             }

@@ -293,9 +293,7 @@ impl<'a> Evaluator<'a> {
                 let (va, ca) = self.eval(env, a)?;
                 let (vb, cb) = self.eval(env, b)?;
                 let xs = va.as_seq().ok_or(EvalError::Stuck("split"))?;
-                let lens = vb
-                    .as_nat_seq()
-                    .ok_or(EvalError::Stuck("split lengths"))?;
+                let lens = vb.as_nat_seq().ok_or(EvalError::Stuck("split lengths"))?;
                 let want: u64 = lens.iter().sum();
                 if want != xs.len() as u64 {
                     return Err(EvalError::SplitSumMismatch {
@@ -431,9 +429,7 @@ mod tests {
     #[test]
     fn split_matches_paper_example() {
         // split([a,b,c,d,e,f], [3,0,1,0,2]) = [[a,b,c],[],[d],[],[e,f]]
-        let xs = (1..=6).fold(empty(Type::Nat), |acc, i| {
-            append(acc, singleton(nat(i)))
-        });
+        let xs = (1..=6).fold(empty(Type::Nat), |acc, i| append(acc, singleton(nat(i))));
         let lens = [3u64, 0, 1, 0, 2]
             .iter()
             .fold(empty(Type::Nat), |acc, &i| append(acc, singleton(nat(i))));
@@ -494,7 +490,11 @@ mod tests {
         assert!(c256.time > c16.time);
         let per_iter = (c256.time - c16.time) / 4;
         assert!(per_iter > 0);
-        assert_eq!(c256.time, c16.time + 4 * per_iter, "constant cost per iteration");
+        assert_eq!(
+            c256.time,
+            c16.time + 4 * per_iter,
+            "constant cost per iteration"
+        );
     }
 
     #[test]
@@ -520,9 +520,7 @@ mod tests {
         let prog = |x_len: u64| {
             let x_val = Value::nat_seq(0..x_len);
             let ys = Value::nat_seq(0..16);
-            let env = Env::empty()
-                .bind(ident("x"), x_val)
-                .bind(ident("ys"), ys);
+            let env = Env::empty().bind(ident("x"), x_val).bind(ident("ys"), ys);
             let table = FuncTable::new();
             let mut ev = Evaluator::new(&table);
             let t = app(map(body.clone()), var("ys"));
@@ -531,7 +529,10 @@ mod tests {
         let w1 = prog(4).work;
         let w2 = prog(8).work;
         // 16 elements x 4 extra units of x, copied into pairs as well.
-        assert!(w2 - w1 >= 16 * 4, "broadcast cost grows with size(x): {w1} {w2}");
+        assert!(
+            w2 - w1 >= 16 * 4,
+            "broadcast cost grows with size(x): {w1} {w2}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl MapRecDef {
                 app(self.solve.clone(), var("x")),
                 app(
                     self.combine.clone(),
-                    app(app_map_named(&self.name), app(self.divide.clone(), var("x"))),
+                    app(
+                        app_map_named(&self.name),
+                        app(self.divide.clone(), var("x")),
+                    ),
                 ),
             ),
         )
@@ -220,10 +223,7 @@ mod tests {
     /// f((lo, hi)) = if hi - lo <= 1 then lo else f(lo, mid) + f(mid, hi)
     pub(crate) fn range_sum_def() -> MapRecDef {
         let dom = Type::prod(Type::Nat, Type::Nat);
-        let pred = lam(
-            "r",
-            le(monus(snd(var("r")), fst(var("r"))), nat(1)),
-        );
+        let pred = lam("r", le(monus(snd(var("r")), fst(var("r"))), nat(1)));
         let solve = lam(
             "r",
             cond(

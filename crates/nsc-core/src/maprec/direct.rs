@@ -85,7 +85,9 @@ fn go(
             let (subs, c_d) = ev.apply_closed(&def.divide, arg)?;
             let subs_vec = subs
                 .as_seq()
-                .ok_or(EvalError::Stuck("map-recursion divide must return a sequence"))?
+                .ok_or(EvalError::Stuck(
+                    "map-recursion divide must return a sequence",
+                ))?
                 .to_vec();
             let mut results = Vec::with_capacity(subs_vec.len());
             let mut par = Cost::ZERO;

@@ -22,8 +22,8 @@
 //!   overhead by `O(W^{1+ε})` with nested `while`s.
 
 pub mod def;
-pub mod fixtures;
 pub mod direct;
+pub mod fixtures;
 pub mod staged;
 pub mod translate;
 

@@ -462,10 +462,19 @@ mod growth_probe {
         let def = crate::maprec::fixtures::staircase();
         for n in [32u64, 64, 128, 256] {
             let p = apply_func(&translate(&def), range(0, n)).unwrap().1;
-            let s1 = apply_func(&translate_staged(&def, 1), range(0, n)).unwrap().1;
-            let s2 = apply_func(&translate_staged(&def, 2), range(0, n)).unwrap().1;
-            let s3 = apply_func(&translate_staged(&def, 3), range(0, n)).unwrap().1;
-            eprintln!("n={n}: plain W={} k1={} k2={} k3={}", p.work, s1.work, s2.work, s3.work);
+            let s1 = apply_func(&translate_staged(&def, 1), range(0, n))
+                .unwrap()
+                .1;
+            let s2 = apply_func(&translate_staged(&def, 2), range(0, n))
+                .unwrap()
+                .1;
+            let s3 = apply_func(&translate_staged(&def, 3), range(0, n))
+                .unwrap()
+                .1;
+            eprintln!(
+                "n={n}: plain W={} k1={} k2={} k3={}",
+                p.work, s1.work, s2.work, s3.work
+            );
         }
     }
 }

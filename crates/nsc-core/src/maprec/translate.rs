@@ -345,10 +345,7 @@ pub(crate) mod tests {
                                     add(var("lo"), var("w")),
                                     add(var("lo"), mul(nat(2), var("w"))),
                                 )),
-                                singleton(pair(
-                                    add(var("lo"), mul(nat(2), var("w"))),
-                                    var("hi"),
-                                )),
+                                singleton(pair(add(var("lo"), mul(nat(2), var("w"))), var("hi"))),
                             ),
                         ),
                     ),

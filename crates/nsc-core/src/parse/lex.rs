@@ -229,7 +229,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     bump!();
                     Tok::Shr
                 } else {
-                    return Err(ParseError::at(tline, tcol, "stray `>` (did you mean `>>`?)"));
+                    return Err(ParseError::at(
+                        tline,
+                        tcol,
+                        "stray `>` (did you mean `>>`?)",
+                    ));
                 }
             }
             '-' => {
@@ -362,7 +366,10 @@ mod tests {
         let _ = lex("(q#4711 + x)").unwrap();
         let fresh = gensym("q");
         let n: u64 = fresh[fresh.rfind('#').unwrap() + 1..].parse().unwrap();
-        assert!(n > 4711, "gensym {fresh} could collide with the parsed q#4711");
+        assert!(
+            n > 4711,
+            "gensym {fresh} could collide with the parsed q#4711"
+        );
     }
 
     #[test]
@@ -389,6 +396,9 @@ mod tests {
     #[test]
     fn huge_numeral_is_rejected() {
         assert!(lex("99999999999999999999999").is_err());
-        assert_eq!(kinds("18446744073709551615"), vec![Tok::Nat(u64::MAX), Tok::Eof]);
+        assert_eq!(
+            kinds("18446744073709551615"),
+            vec![Tok::Nat(u64::MAX), Tok::Eof]
+        );
     }
 }

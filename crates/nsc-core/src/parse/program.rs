@@ -105,7 +105,10 @@ impl fmt::Display for ModuleError {
             ModuleError::Unknown(n) => write!(f, "unknown function `{n}`"),
             ModuleError::Type { def, err } => write!(f, "in `{def}`: {err}"),
             ModuleError::OpenDefinition { def, var } => {
-                write!(f, "in `{def}`: unbound variable `{var}` (definitions must be closed)")
+                write!(
+                    f,
+                    "in `{def}`: unbound variable `{var}` (definitions must be closed)"
+                )
             }
             ModuleError::InliningTooDeep(def) => write!(
                 f,
@@ -337,8 +340,10 @@ impl Inliner<'_> {
                 self.stack.pop();
                 let sub_depth = self.max_depth - depth_here;
                 self.max_depth = self.max_depth.max(max_before);
-                self.memo
-                    .insert(n.clone(), (out.clone(), self.spent - size_before, sub_depth));
+                self.memo.insert(
+                    n.clone(),
+                    (out.clone(), self.spent - size_before, sub_depth),
+                );
                 out
             }
         })
@@ -471,12 +476,12 @@ mod tests {
 
     #[test]
     fn recursion_is_reported_when_inlining() {
-        let m = parse_module(
-            "fn f : N -> N = (\\x. if (x = 0) then 0 else f((x -. 1)))",
-        )
-        .unwrap();
+        let m = parse_module("fn f : N -> N = (\\x. if (x = 0) then 0 else f((x -. 1)))").unwrap();
         m.check().unwrap();
-        assert_eq!(m.inlined("f").unwrap_err(), ModuleError::Recursive("f".into()));
+        assert_eq!(
+            m.inlined("f").unwrap_err(),
+            ModuleError::Recursive("f".into())
+        );
     }
 
     #[test]
@@ -484,10 +489,7 @@ mod tests {
         // `f` leaks a free `x`; inlining it under g's `\x` binder would
         // silently capture-rebind it.  inlined() must refuse even when the
         // caller never ran check().
-        let m = parse_module(
-            "fn f : N -> N = (\\y. x) fn g : N -> N = (\\x. f(x))",
-        )
-        .unwrap();
+        let m = parse_module("fn f : N -> N = (\\y. x) fn g : N -> N = (\\x. f(x))").unwrap();
         assert_eq!(
             m.inlined("g").unwrap_err(),
             ModuleError::OpenDefinition {
@@ -636,6 +638,9 @@ mod tests {
         let m = parse_module("fn f : N -> N = (\\x. g(x))").unwrap();
         assert!(matches!(m.check().unwrap_err(), ModuleError::Type { .. }));
         let m2 = parse_module("fn f : N -> N = g").unwrap();
-        assert_eq!(m2.inlined("g2").unwrap_err(), ModuleError::Unknown("g2".into()));
+        assert_eq!(
+            m2.inlined("g2").unwrap_err(),
+            ModuleError::Unknown("g2".into())
+        );
     }
 }

@@ -18,9 +18,36 @@ use crate::types::Type;
 
 /// Words that cannot be used as variable, binder, or function names.
 pub const KEYWORDS: &[&str] = &[
-    "case", "of", "inl", "inr", "fst", "snd", "flatten", "length", "get", "zip", "enumerate",
-    "split", "map", "while", "omega", "true", "false", "min", "max", "log2", "let", "in", "if",
-    "then", "else", "fn", "input", "unit", "N", "B",
+    "case",
+    "of",
+    "inl",
+    "inr",
+    "fst",
+    "snd",
+    "flatten",
+    "length",
+    "get",
+    "zip",
+    "enumerate",
+    "split",
+    "map",
+    "while",
+    "omega",
+    "true",
+    "false",
+    "min",
+    "max",
+    "log2",
+    "let",
+    "in",
+    "if",
+    "then",
+    "else",
+    "fn",
+    "input",
+    "unit",
+    "N",
+    "B",
 ];
 
 /// True iff `s` is a reserved word of the surface syntax.
@@ -129,10 +156,13 @@ impl Cursor {
                 self.next();
                 Ok(s)
             }
-            Tok::Ident(s) => Err(self.err(format!(
-                "`{s}` is a reserved word and cannot name a {what}"
+            Tok::Ident(s) => {
+                Err(self.err(format!("`{s}` is a reserved word and cannot name a {what}")))
+            }
+            other => Err(self.err(format!(
+                "expected a {what} name, found {}",
+                other.describe()
             ))),
-            other => Err(self.err(format!("expected a {what} name, found {}", other.describe()))),
         }
     }
 
@@ -145,7 +175,10 @@ impl Cursor {
         if *self.peek() == Tok::Eof {
             Ok(())
         } else {
-            Err(self.err(format!("expected end of input, found {}", self.peek().describe())))
+            Err(self.err(format!(
+                "expected end of input, found {}",
+                self.peek().describe()
+            )))
         }
     }
 
@@ -343,7 +376,9 @@ impl Cursor {
 
     /// `kw(M)` primitives.
     fn unary(&mut self, mk: fn(Term) -> Term) -> Result<Term, ParseError> {
-        let Tok::Ident(kw) = self.next() else { unreachable!() };
+        let Tok::Ident(kw) = self.next() else {
+            unreachable!()
+        };
         self.expect(Tok::LParen, &kw)?;
         let m = self.term()?;
         self.expect(Tok::RParen, &kw)?;
@@ -352,7 +387,9 @@ impl Cursor {
 
     /// `kw(M, N)` primitives.
     fn binary(&mut self, mk: fn(Term, Term) -> Term) -> Result<Term, ParseError> {
-        let Tok::Ident(kw) = self.next() else { unreachable!() };
+        let Tok::Ident(kw) = self.next() else {
+            unreachable!()
+        };
         self.expect(Tok::LParen, &kw)?;
         let a = self.term()?;
         self.expect(Tok::Comma, &kw)?;
@@ -561,7 +598,10 @@ mod tests {
         roundtrip_t(&pair(nat(1), pair(var("x"), unit())));
         roundtrip_t(&fst(snd(var("p"))));
         roundtrip_t(&inl(nat(1), Type::bool_()));
-        roundtrip_t(&inr(pair(nat(1), nat(2)), Type::prod(Type::Unit, Type::Nat)));
+        roundtrip_t(&inr(
+            pair(nat(1), nat(2)),
+            Type::prod(Type::Unit, Type::Nat),
+        ));
         roundtrip_t(&case(var("s"), "x", var("x"), "y", nat(0)));
         roundtrip_t(&app(lam("x", add(var("x"), nat(1))), nat(41)));
         roundtrip_t(&empty(Type::prod(Type::Nat, Type::seq(Type::Nat))));
@@ -649,7 +689,7 @@ mod tests {
     }
 
     #[test]
-    fn trailing_input_is_rejected()  {
+    fn trailing_input_is_rejected() {
         assert!(parse_term("1 2").is_err());
         assert!(parse_func("map((\\x. x)) extra").is_err());
     }

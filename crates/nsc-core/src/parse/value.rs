@@ -37,7 +37,11 @@ fn value_inner(c: &mut Cursor) -> Result<Value, ParseError> {
             c.expect(Tok::LParen, "injection value")?;
             let v = value(c)?;
             c.expect(Tok::RParen, "injection value")?;
-            Ok(if s == "inl" { Value::inl(v) } else { Value::inr(v) })
+            Ok(if s == "inl" {
+                Value::inl(v)
+            } else {
+                Value::inr(v)
+            })
         }
         Tok::LParen => {
             c.next();
@@ -98,7 +102,10 @@ mod tests {
         roundtrip(Value::unit());
         roundtrip(Value::bool_(true));
         roundtrip(Value::bool_(false));
-        roundtrip(Value::pair(Value::nat(1), Value::pair(Value::unit(), Value::nat(2))));
+        roundtrip(Value::pair(
+            Value::nat(1),
+            Value::pair(Value::unit(), Value::nat(2)),
+        ));
         roundtrip(Value::nat_seq(0..5));
         roundtrip(Value::seq(vec![]));
         roundtrip(Value::seq(vec![Value::nat_seq([1, 2]), Value::nat_seq([])]));
@@ -110,7 +117,10 @@ mod tests {
     fn bad_values_error_with_position() {
         let err = parse_value("[1, ]").unwrap_err();
         assert_eq!((err.line, err.col), (1, 5));
-        assert!(parse_value("(1)").is_err(), "a one-element tuple is not a value");
+        assert!(
+            parse_value("(1)").is_err(),
+            "a one-element tuple is not a value"
+        );
         assert!(parse_value("[1 2]").is_err());
     }
 }

@@ -54,13 +54,7 @@ pub fn sigma1(s: &Type) -> Func {
         flatten(app(
             map(lam(
                 &u,
-                case(
-                    var(&u),
-                    &a,
-                    singleton(var(&a)),
-                    &b,
-                    empty(s.clone()),
-                ),
+                case(var(&u), &a, singleton(var(&a)), &b, empty(s.clone())),
             )),
             var(&x),
         )),
@@ -78,13 +72,7 @@ pub fn sigma2(t: &Type) -> Func {
         flatten(app(
             map(lam(
                 &u,
-                case(
-                    var(&u),
-                    &a,
-                    empty(t.clone()),
-                    &b,
-                    singleton(var(&b)),
-                ),
+                case(var(&u), &a, empty(t.clone()), &b, singleton(var(&b))),
             )),
             var(&x),
         )),
@@ -101,11 +89,7 @@ pub fn filter(p: Func, elem: &Type) -> Func {
         flatten(app(
             map(lam(
                 &u,
-                cond(
-                    app(p, var(&u)),
-                    singleton(var(&u)),
-                    empty(elem.clone()),
-                ),
+                cond(app(p, var(&u)), singleton(var(&u)), empty(elem.clone())),
             )),
             var(&x),
         )),
@@ -170,7 +154,10 @@ mod tests {
         ]);
         let s1 = sigma1(&Type::Nat);
         let s2 = sigma2(&Type::Nat);
-        assert_eq!(apply_func(&s1, x.clone()).unwrap().0, Value::nat_seq([1, 5, 6]));
+        assert_eq!(
+            apply_func(&s1, x.clone()).unwrap().0,
+            Value::nat_seq([1, 5, 6])
+        );
         assert_eq!(apply_func(&s2, x).unwrap().0, Value::nat_seq([2, 3, 4]));
     }
 

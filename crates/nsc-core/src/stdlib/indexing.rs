@@ -60,11 +60,7 @@ pub fn index(c: Term, i: Term, elem: &Type) -> Term {
             remove_last(append(singleton(nat(0)), var(&p)), &Type::Nat),
         ),
     );
-    let body = let_in(
-        &p,
-        p_term,
-        bm_route(var(&iv), delta_p, var(&cv)),
-    );
+    let body = let_in(&p, p_term, bm_route(var(&iv), delta_p, var(&cv)));
     let _ = elem;
     let_in(
         &cv,
@@ -72,11 +68,7 @@ pub fn index(c: Term, i: Term, elem: &Type) -> Term {
         let_in(
             &iv,
             i,
-            let_in(
-                &n,
-                length(var(&cv)),
-                let_in(&k, length(var(&iv)), body),
-            ),
+            let_in(&n, length(var(&cv)), let_in(&k, length(var(&iv)), body)),
         ),
     )
 }
@@ -174,11 +166,7 @@ mod tests {
     #[test]
     fn index_split_with_zero_cut() {
         // A cut at 0 produces a leading empty segment.
-        let (v, _) = run_with(
-            Value::nat_seq([1, 2]),
-            Value::nat_seq([0, 2]),
-            index_split,
-        );
+        let (v, _) = run_with(Value::nat_seq([1, 2]), Value::nat_seq([0, 2]), index_split);
         let want = Value::seq(vec![
             Value::nat_seq([]),
             Value::nat_seq([1, 2]),

@@ -72,11 +72,7 @@ pub fn first(xs: Term, elem: &Type) -> Term {
 /// `last(xs)` — the last element; `Ω` on the empty sequence.
 pub fn last(xs: Term, elem: &Type) -> Term {
     let xsv = gensym("xs");
-    let body = nth(
-        var(&xsv),
-        monus(length(var(&xsv)), nat(1)),
-        elem,
-    );
+    let body = nth(var(&xsv), monus(length(var(&xsv)), nat(1)), elem);
     let_in(&xsv, xs, body)
 }
 
@@ -118,10 +114,7 @@ mod tests {
     #[test]
     fn nth_out_of_range_is_omega() {
         let t = nth(nats(&[1]), nat(5), &Type::Nat);
-        assert!(matches!(
-            eval_term(&t),
-            Err(EvalError::GetNonSingleton(0))
-        ));
+        assert!(matches!(eval_term(&t), Err(EvalError::GetNonSingleton(0))));
     }
 
     #[test]
@@ -148,7 +141,12 @@ mod tests {
         // O(n) work: n grew 64x, so the work ratio must stay near 64,
         // far below a quadratic blowup (which would be ~4096x).
         assert!(c512.work > c8.work);
-        assert!(c512.work < 80 * c8.work, "O(n) work: {} vs {}", c8.work, c512.work);
+        assert!(
+            c512.work < 80 * c8.work,
+            "O(n) work: {} vs {}",
+            c8.work,
+            c512.work
+        );
         let _ = (small, big);
     }
 

@@ -77,10 +77,7 @@ fn reduce(op: ArithOp, xs: Term, zero: u64) -> Term {
             ),
         ),
     );
-    let loop_ = while_(
-        lam(&y, lt(nat(1), length(var(&y)))),
-        lam(&y, step_body),
-    );
+    let loop_ = while_(lam(&y, lt(nat(1), length(var(&y)))), lam(&y, step_body));
     let_in(
         &xsv,
         xs,
@@ -117,10 +114,7 @@ pub fn prefix_sum(xs: Term) -> Term {
     // state = (d, y); while d < |y|:
     //   shifted = zeros(d) @ y[0 .. n-d]
     //   (2d, map(+)(zip(y, shifted)))
-    let zeros = app(
-        map(lam(&q, nat(0))),
-        take(var(&y), var(&d), &Type::Nat),
-    );
+    let zeros = app(map(lam(&q, nat(0))), take(var(&y), var(&d), &Type::Nat));
     let step_body = let_in(
         &d,
         fst(var(&st)),
@@ -132,10 +126,7 @@ pub fn prefix_sum(xs: Term) -> Term {
                 length(var(&y)),
                 let_in(
                     &shifted,
-                    append(
-                        zeros,
-                        take(var(&y), monus(var(&n), var(&d)), &Type::Nat),
-                    ),
+                    append(zeros, take(var(&y), monus(var(&n), var(&d)), &Type::Nat)),
                     pair(
                         mul(nat(2), var(&d)),
                         app(

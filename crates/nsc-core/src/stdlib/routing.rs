@@ -70,11 +70,7 @@ fn true_positions(f: Term) -> Term {
     let body = flatten(app(
         map(lam(
             &q,
-            cond(
-                snd(var(&q)),
-                singleton(fst(var(&q))),
-                empty(Type::Nat),
-            ),
+            cond(snd(var(&q)), singleton(fst(var(&q))), empty(Type::Nat)),
         )),
         zip(enumerate(var(&fv)), var(&fv)),
     ));
@@ -87,11 +83,7 @@ fn false_positions(f: Term) -> Term {
     let body = flatten(app(
         map(lam(
             &q,
-            cond(
-                snd(var(&q)),
-                empty(Type::Nat),
-                singleton(fst(var(&q))),
-            ),
+            cond(snd(var(&q)), empty(Type::Nat), singleton(fst(var(&q)))),
         )),
         zip(enumerate(var(&fv)), var(&fv)),
     ));
@@ -153,26 +145,20 @@ pub fn combine_flags(f: Term, x: Term, y: Term, elem: &Type) -> Term {
     let q = gensym("q");
 
     // General case: both sides present.
-    let spread_x = bm_route(
-        var(&fv),
-        spread_counts(var(&px), var(&n)),
-        var(&xv),
-    );
-    let spread_y = bm_route(
-        var(&fv),
-        spread_counts(var(&py), var(&n)),
-        var(&yv),
-    );
+    let spread_x = bm_route(var(&fv), spread_counts(var(&px), var(&n)), var(&xv));
+    let spread_y = bm_route(var(&fv), spread_counts(var(&py), var(&n)), var(&yv));
     let select = app(
         map(lam(
             &q,
-            cond(
-                fst(var(&q)),
-                fst(snd(var(&q))),
-                snd(snd(var(&q))),
-            ),
+            cond(fst(var(&q)), fst(snd(var(&q))), snd(snd(var(&q)))),
         )),
-        zip(var(&fv), zip(let_in(&sx, spread_x, var(&sx)), let_in(&sy, spread_y, var(&sy)))),
+        zip(
+            var(&fv),
+            zip(
+                let_in(&sx, spread_x, var(&sx)),
+                let_in(&sy, spread_y, var(&sy)),
+            ),
+        ),
     );
 
     let general = let_in(
@@ -200,11 +186,7 @@ pub fn combine_flags(f: Term, x: Term, y: Term, elem: &Type) -> Term {
     let_in(
         &fv,
         f,
-        let_in(
-            &n,
-            length(var(&fv)),
-            let_in(&xv, x, let_in(&yv, y, body)),
-        ),
+        let_in(&n, length(var(&fv)), let_in(&xv, x, let_in(&yv, y, body))),
     )
 }
 
@@ -233,7 +215,10 @@ mod tests {
     fn bm_route_matches_paper_example() {
         // bm_route(([u0..u4], [3,0,2]), [a,b,c]) = [a,a,a,c,c]
         let t = bm_route(units(5), nats(&[3, 0, 2]), nats(&[10, 20, 30]));
-        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([10, 10, 10, 30, 30]));
+        assert_eq!(
+            eval_term(&t).unwrap().0,
+            Value::nat_seq([10, 10, 10, 30, 30])
+        );
     }
 
     #[test]
@@ -249,10 +234,7 @@ mod tests {
         // [[a,b,c],[a,b,c]]: replication of nested values is per-element.
         let inner = nats(&[1, 2, 3]);
         let t = bm_route(units(2), nats(&[2]), singleton(inner));
-        let want = Value::seq(vec![
-            Value::nat_seq([1, 2, 3]),
-            Value::nat_seq([1, 2, 3]),
-        ]);
+        let want = Value::seq(vec![Value::nat_seq([1, 2, 3]), Value::nat_seq([1, 2, 3])]);
         assert_eq!(eval_term(&t).unwrap().0, want);
     }
 
@@ -278,10 +260,7 @@ mod tests {
     #[test]
     fn m_route_replicates_without_bound() {
         let t = m_route(nats(&[4, 0, 2]), nats(&[5, 6, 7]));
-        assert_eq!(
-            eval_term(&t).unwrap().0,
-            Value::nat_seq([5, 5, 5, 5, 7, 7])
-        );
+        assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([5, 5, 5, 5, 7, 7]));
     }
 
     #[test]
@@ -328,19 +307,9 @@ mod tests {
     #[test]
     fn combine_edge_cases() {
         // all-true, all-false, empty
-        let t = combine_flags(
-            flags(&[true, true]),
-            nats(&[1, 2]),
-            nats(&[]),
-            &Type::Nat,
-        );
+        let t = combine_flags(flags(&[true, true]), nats(&[1, 2]), nats(&[]), &Type::Nat);
         assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([1, 2]));
-        let t = combine_flags(
-            flags(&[false, false]),
-            nats(&[]),
-            nats(&[8, 9]),
-            &Type::Nat,
-        );
+        let t = combine_flags(flags(&[false, false]), nats(&[]), nats(&[8, 9]), &Type::Nat);
         assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([8, 9]));
         let t = combine_flags(flags(&[]), nats(&[]), nats(&[]), &Type::Nat);
         assert_eq!(eval_term(&t).unwrap().0, Value::nat_seq([]));

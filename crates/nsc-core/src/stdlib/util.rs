@@ -43,10 +43,7 @@ pub fn reserve(name: &str) {
 /// paper uses implicitly when it writes `λ(x, y). …`.
 pub fn lam2(x: &str, y: &str, body: Term) -> Func {
     let p = gensym("p");
-    lam(
-        &p,
-        let_in(x, fst(var(&p)), let_in(y, snd(var(&p)), body)),
-    )
+    lam(&p, let_in(x, fst(var(&p)), let_in(y, snd(var(&p)), body)))
 }
 
 /// Applies a two-argument (paired) function: `app2(f, a, b) = f((a, b))`.

@@ -157,9 +157,7 @@ pub fn type_of(ctx: &TypeCtx, sigs: &SigTable, term: &Term) -> Result<Type, Type
             }),
         },
         TermK::Zip(a, b) => match (type_of(ctx, sigs, a)?, type_of(ctx, sigs, b)?) {
-            (Type::Seq(s), Type::Seq(t)) => {
-                Ok(Type::seq(Type::prod((*s).clone(), (*t).clone())))
-            }
+            (Type::Seq(s), Type::Seq(t)) => Ok(Type::seq(Type::prod((*s).clone(), (*t).clone()))),
             (ta, _) => Err(TypeError::WrongShape {
                 context: "zip",
                 found: ta,
@@ -174,7 +172,11 @@ pub fn type_of(ctx: &TypeCtx, sigs: &SigTable, term: &Term) -> Result<Type, Type
         },
         TermK::Split(a, b) => {
             let ta = type_of(ctx, sigs, a)?;
-            expect("split lengths", &Type::seq(Type::Nat), &type_of(ctx, sigs, b)?)?;
+            expect(
+                "split lengths",
+                &Type::seq(Type::Nat),
+                &type_of(ctx, sigs, b)?,
+            )?;
             match ta {
                 Type::Seq(_) => Ok(Type::seq(ta)),
                 t => Err(TypeError::WrongShape {
@@ -294,7 +296,10 @@ mod tests {
         // while halving until zero: state N
         let p = lam("x", lt(nat(0), var("x")));
         let step = lam("x", rshift(var("x"), nat(1)));
-        assert_eq!(check_closed(&while_(p, step), &Type::Nat).unwrap(), Type::Nat);
+        assert_eq!(
+            check_closed(&while_(p, step), &Type::Nat).unwrap(),
+            Type::Nat
+        );
     }
 
     #[test]
@@ -327,7 +332,10 @@ mod tests {
     #[test]
     fn free_variables_need_context() {
         let ctx = TypeCtx::empty().bind(ident("x"), Type::Nat);
-        assert_eq!(type_of(&ctx, &SigTable::new(), &var("x")).unwrap(), Type::Nat);
+        assert_eq!(
+            type_of(&ctx, &SigTable::new(), &var("x")).unwrap(),
+            Type::Nat
+        );
         assert!(infer(&var("x")).is_err());
     }
 }

@@ -1,0 +1,358 @@
+//! The batched execution runtime: one cached program, `B` requests.
+//!
+//! Two batching disciplines, chosen per batch by the cost model:
+//!
+//! * **Pack** — fuse the batch into a *single* BVRAM run of the cached
+//!   Map-Lemma kernel `map(f) : [s] → [t]`.  The flattening translation
+//!   encodes `[x₁, …, x_B]` as lane-concatenated data registers plus
+//!   lane-offset descriptor registers, so all `B` requests march through
+//!   one instruction stream: the whole batch pays one `T'` instead of
+//!   `B` of them.  This is exactly the paper's aggregation story applied
+//!   to serving — the same flattening that batches the iterations of a
+//!   `while` under `map` (Lemma 7.2) batches independent requests.
+//! * **Lanes** — run the single-request program over the `B` requests in
+//!   parallel worker threads ([`bvram::run_lanes_rayon`]), optionally on
+//!   the rayon [`ParMachine`](bvram::ParMachine) per lane.  No encoding
+//!   overhead and no cross-request coupling, but every request pays the
+//!   full per-run `T'`.
+//!
+//! **Decision rule** (see [`BatchRunner::choose_mode`]): pack when the
+//! statically predicted per-request `W'` is at most
+//! [`PACK_WORK_CUTOFF`] — such requests are dispatch-bound, and fusing
+//! amortizes the instruction stream across the batch — otherwise lanes,
+//! because data-bound requests saturate the hardware on their own and
+//! pack's fused control flow would couple every request to the slowest
+//! one (a compiled `while` runs all lanes until the deepest lane
+//! finishes).
+//!
+//! **Fault semantics.** Results are per request and bit-identical to a
+//! loop of single runs, including error classification (`Ω` vs compiler
+//! fault).  Lanes gives this directly.  A fused pack run shares one
+//! machine state, so any request's fault aborts the fused run; the
+//! runner then falls back to per-request execution, which reproduces the
+//! exact per-request classification ([`BatchOutcome::fused`] reports
+//! whether the fused run was used).
+
+use crate::cache::{CachedProgram, CompiledCache};
+use nsc_compile::pipeline::{decode_result, encode_arg, eval_error_of, run_program_on};
+use nsc_compile::{Backend, OptLevel};
+use nsc_core::cost::Cost;
+use nsc_core::error::EvalError;
+use nsc_core::types::Type;
+use nsc_core::value::Value;
+use nsc_core::Func;
+use std::sync::Arc;
+
+/// The two batching disciplines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One fused run of the `map(f)` kernel over lane-offset registers.
+    Pack,
+    /// Parallel per-request runs of the single-request program.
+    Lanes,
+}
+
+impl BatchMode {
+    /// Lower-case name (`pack`/`lanes`), as reported in `BENCH_batch.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchMode::Pack => "pack",
+            BatchMode::Lanes => "lanes",
+        }
+    }
+}
+
+/// Predicted per-request `W'` at or below which a batch is packed.
+///
+/// Below the cutoff a request touches so little data that its wall-clock
+/// is dominated by instruction dispatch and per-run setup — the costs
+/// pack amortizes.  Above it, data movement dominates and lanes wins by
+/// avoiding the fused kernel's straggler coupling.  Tuned with
+/// `exp_batch` / `bench_report`; the order of magnitude (tens of
+/// thousands of register elements) matters, the exact value does not.
+pub const PACK_WORK_CUTOFF: u64 = 1 << 17;
+
+/// What a batch run returns.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request results, in request order — bit-identical (value *and*
+    /// error classification) to a loop of single runs.
+    pub results: Vec<Result<Value, EvalError>>,
+    /// The discipline that was executed.
+    pub mode: BatchMode,
+    /// Whether a single fused (pack) machine run produced the results.
+    /// `false` under [`BatchMode::Lanes`], and under [`BatchMode::Pack`]
+    /// when a fault forced the per-request fallback.
+    pub fused: bool,
+    /// Aggregate machine cost: the fused run's `(T', W')` under pack,
+    /// and the parallel composition (`T' = max`, `W' = Σ`) under lanes
+    /// (including pack's per-request fallback, which replays through the
+    /// lanes discipline).
+    pub cost: Cost,
+}
+
+/// A per-thread handle running batches against one [`CachedProgram`].
+///
+/// The cached entry is `Send + Sync` and shared; the runner itself holds
+/// thread-local rebuilt [`Type`]s (which are `Rc`-based), so build one
+/// runner per serving thread — construction is `O(|type|)`.
+#[derive(Debug)]
+pub struct BatchRunner {
+    cached: Arc<CachedProgram>,
+    backend: Backend,
+    dom: Type,
+    cod: Type,
+    batch_dom: Type,
+    batch_cod: Type,
+}
+
+impl BatchRunner {
+    /// Wraps a cache entry for use on the calling thread.
+    pub fn new(cached: Arc<CachedProgram>, backend: Backend) -> BatchRunner {
+        BatchRunner {
+            dom: cached.single.dom(),
+            cod: cached.single.cod(),
+            batch_dom: cached.batch.dom(),
+            batch_cod: cached.batch.cod(),
+            backend,
+            cached,
+        }
+    }
+
+    /// Compiles (or fetches) `f : dom → …` from `cache` and wraps it.
+    pub fn from_cache(
+        cache: &CompiledCache,
+        f: &Func,
+        dom: &Type,
+        opt: OptLevel,
+        backend: Backend,
+    ) -> Result<BatchRunner, EvalError> {
+        Ok(BatchRunner::new(
+            cache.get_or_compile(f, dom, opt, backend)?,
+            backend,
+        ))
+    }
+
+    /// The shared cache entry this runner executes.
+    pub fn cached(&self) -> &Arc<CachedProgram> {
+        &self.cached
+    }
+
+    /// The backend this runner executes on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Runs one request on the single-request program (the baseline every
+    /// batch mode is measured against and must agree with).
+    pub fn run_single(&self, arg: &Value) -> Result<(Value, Cost), EvalError> {
+        let regs = encode_arg(arg, &self.dom)?;
+        let out = run_program_on(&self.cached.single.program, regs, self.backend)?;
+        let val = decode_result(&out.outputs, &self.cod)?;
+        Ok((val, Cost::new(out.stats.time, out.stats.work)))
+    }
+
+    /// The cost model's pick for this batch: pack iff the predicted
+    /// per-request `W'` (at the batch's mean input size) is at most
+    /// [`PACK_WORK_CUTOFF`].  See the module docs for why.
+    pub fn choose_mode(&self, inputs: &[Value]) -> BatchMode {
+        let b = inputs.len().max(1) as u64;
+        let mean_size = inputs.iter().map(Value::size).sum::<u64>() / b;
+        if self.cached.single.stat.predict_work(mean_size) <= PACK_WORK_CUTOFF {
+            BatchMode::Pack
+        } else {
+            BatchMode::Lanes
+        }
+    }
+
+    /// Runs `B` independent requests, choosing the mode via
+    /// [`BatchRunner::choose_mode`].
+    pub fn run_batch(&self, inputs: &[Value]) -> BatchOutcome {
+        self.run_batch_mode(inputs, self.choose_mode(inputs))
+    }
+
+    /// Runs `B` independent requests under an explicit mode.
+    pub fn run_batch_mode(&self, inputs: &[Value], mode: BatchMode) -> BatchOutcome {
+        match mode {
+            BatchMode::Pack => self.run_pack(inputs),
+            BatchMode::Lanes => self.run_lanes(inputs),
+        }
+    }
+
+    fn run_pack(&self, inputs: &[Value]) -> BatchOutcome {
+        let fused = (|| -> Result<(Vec<Value>, Cost), EvalError> {
+            let seqv = Value::seq(inputs.to_vec());
+            let regs = encode_arg(&seqv, &self.batch_dom)?;
+            let out = run_program_on(&self.cached.batch.program, regs, self.backend)?;
+            let val = decode_result(&out.outputs, &self.batch_cod)?;
+            let items = val
+                .as_seq()
+                .ok_or(EvalError::Stuck("batch kernel returned a non-sequence"))?
+                .to_vec();
+            if items.len() != inputs.len() {
+                return Err(EvalError::Stuck("batch kernel lost a lane"));
+            }
+            Ok((items, Cost::new(out.stats.time, out.stats.work)))
+        })();
+        match fused {
+            Ok((items, cost)) => BatchOutcome {
+                results: items.into_iter().map(Ok).collect(),
+                mode: BatchMode::Pack,
+                fused: true,
+                cost,
+            },
+            // Some lane faulted (or failed to encode): the fused run
+            // cannot attribute the fault, so replay per request — through
+            // the lanes discipline, which gives the exact per-request
+            // classification *and* keeps the replay parallel.
+            Err(_) => BatchOutcome {
+                mode: BatchMode::Pack,
+                ..self.run_lanes(inputs)
+            },
+        }
+    }
+
+    fn run_lanes(&self, inputs: &[Value]) -> BatchOutcome {
+        let b = inputs.len();
+        let mut results: Vec<Option<Result<Value, EvalError>>> = (0..b).map(|_| None).collect();
+        // Encode on this thread (Values are not Send); ship only the
+        // plain-u64 register lanes to the workers.
+        let mut idx = Vec::with_capacity(b);
+        let mut lanes = Vec::with_capacity(b);
+        for (i, v) in inputs.iter().enumerate() {
+            match encode_arg(v, &self.dom) {
+                Ok(regs) => {
+                    idx.push(i);
+                    lanes.push(regs);
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        let outs = bvram::run_lanes_rayon(
+            &self.cached.single.program,
+            lanes,
+            self.backend == Backend::Par,
+        );
+        let mut cost = Cost::ZERO;
+        for (i, out) in idx.into_iter().zip(outs) {
+            results[i] = Some(match out {
+                Ok(out) => {
+                    cost = cost.par(Cost::new(out.stats.time, out.stats.work));
+                    decode_result(&out.outputs, &self.cod)
+                }
+                Err(e) => Err(eval_error_of(e)),
+            });
+        }
+        BatchOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every request answered"))
+                .collect(),
+            mode: BatchMode::Lanes,
+            fused: false,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::ast as a;
+
+    fn runner(f: Func, dom: Type, backend: Backend) -> BatchRunner {
+        let cache = CompiledCache::new();
+        BatchRunner::from_cache(&cache, &f, &dom, OptLevel::O1, backend).unwrap()
+    }
+
+    #[test]
+    fn both_modes_match_single_runs_on_clean_batches() {
+        let f = a::map(a::lam(
+            "x",
+            a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+        ));
+        let r = runner(f, Type::seq(Type::Nat), Backend::Seq);
+        let inputs: Vec<Value> = (0..9u64).map(|i| Value::nat_seq(0..i)).collect();
+        let singles: Vec<_> = inputs
+            .iter()
+            .map(|v| r.run_single(v).map(|p| p.0))
+            .collect();
+        for mode in [BatchMode::Pack, BatchMode::Lanes] {
+            let out = r.run_batch_mode(&inputs, mode);
+            assert_eq!(out.results, singles, "{mode:?}");
+            assert_eq!(out.fused, mode == BatchMode::Pack);
+        }
+    }
+
+    #[test]
+    fn pack_amortizes_t_prime() {
+        // The whole point: a fused batch of B pays ~one T', not B.
+        let f = a::map(a::lam("x", a::add(a::var("x"), a::nat(1))));
+        let r = runner(f, Type::seq(Type::Nat), Backend::Seq);
+        let inputs: Vec<Value> = (0..64).map(|_| Value::nat_seq(0..16)).collect();
+        let mut seq_cost = Cost::ZERO;
+        for v in &inputs {
+            seq_cost += r.run_single(v).unwrap().1;
+        }
+        let packed = r.run_batch_mode(&inputs, BatchMode::Pack);
+        assert!(packed.fused);
+        assert!(
+            packed.cost.time * 8 < seq_cost.time,
+            "fused T' {} should be far below B·T' {}",
+            packed.cost.time,
+            seq_cost.time
+        );
+    }
+
+    #[test]
+    fn faulting_requests_classify_identically_in_both_modes() {
+        // get(x) is Ω unless x is a singleton.
+        let f = a::lam("x", a::get(a::var("x")));
+        for backend in [Backend::Seq, Backend::Par] {
+            let r = runner(f.clone(), Type::seq(Type::Nat), backend);
+            let inputs = vec![
+                Value::nat_seq([7]),
+                Value::nat_seq([1, 2]), // Ω
+                Value::nat_seq([9]),
+                Value::nat_seq([]), // Ω
+            ];
+            let singles: Vec<_> = inputs
+                .iter()
+                .map(|v| r.run_single(v).map(|p| p.0))
+                .collect();
+            assert!(singles[1].is_err() && singles[3].is_err());
+            for mode in [BatchMode::Pack, BatchMode::Lanes] {
+                let out = r.run_batch_mode(&inputs, mode);
+                assert_eq!(out.results, singles, "{backend:?}/{mode:?}");
+                assert!(!out.fused, "a faulting lane forces per-request execution");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let f = a::map(a::lam("x", a::var("x")));
+        let r = runner(f, Type::seq(Type::Nat), Backend::Seq);
+        for mode in [BatchMode::Pack, BatchMode::Lanes] {
+            let out = r.run_batch_mode(&[], mode);
+            assert!(out.results.is_empty());
+        }
+    }
+
+    #[test]
+    fn mode_choice_follows_predicted_work() {
+        let f = a::map(a::lam("x", a::add(a::var("x"), a::nat(1))));
+        let r = runner(f, Type::seq(Type::Nat), Backend::Seq);
+        let small: Vec<Value> = (0..8).map(|_| Value::nat_seq(0..4)).collect();
+        assert_eq!(r.choose_mode(&small), BatchMode::Pack);
+        let stat = r.cached().single.stat;
+        // Find a size the predictor maps above the cutoff and check the
+        // rule flips (the rule, not a particular threshold, is the API).
+        let mut n = 1u64 << 10;
+        while stat.predict_work(n) <= PACK_WORK_CUTOFF {
+            n *= 2;
+        }
+        let big: Vec<Value> = (0..2).map(|_| Value::nat_seq(0..n)).collect();
+        assert_eq!(r.choose_mode(&big), BatchMode::Lanes);
+    }
+}

@@ -1,0 +1,211 @@
+//! Machine-readable batching measurements (the `BENCH_batch.json` side
+//! of the runtime).
+//!
+//! [`measure_batches`] times one example at several batch sizes under
+//! every discipline — a loop of `B` single runs (the `"sequential"`
+//! baseline), [`BatchMode::Pack`] and [`BatchMode::Lanes`] — *verifying
+//! bit-identical per-request results before trusting any number*, and
+//! returns [`BenchRecord`]s.  [`json_report`] serializes them into the
+//! schema CI's `perf-smoke` job consumes:
+//!
+//! ```json
+//! {"schema": "nsc-bench/batch-v1",
+//!  "records": [{"example": "...", "backend": "seq", "batch": 8,
+//!               "mode": "pack", "wall_ns": 1234, "t_prime": 56,
+//!               "w_prime": 789, "speedup_vs_sequential": 1.87}, …]}
+//! ```
+//!
+//! `wall_ns` is the minimum over the measured repetitions (minimum, not
+//! mean: scheduling noise only ever adds time).  `t_prime`/`w_prime` are
+//! the *exact* machine costs of the measured discipline (summed over the
+//! loop for `"sequential"`, the aggregate [`crate::BatchOutcome`] cost
+//! otherwise), so the JSON carries both wall-clock and model costs and
+//! regressions in either are visible.  `speedup_vs_sequential` is
+//! `wall(sequential at the same B) / wall(mode)` — the `"sequential"`
+//! rows carry `1.0` by construction.
+
+use crate::batch::{BatchMode, BatchRunner};
+use nsc_core::cost::Cost;
+use nsc_core::value::Value;
+use std::time::Instant;
+
+/// One measured (example, backend, batch size, mode) cell.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Example name (`.nsc` file stem or workload label).
+    pub example: String,
+    /// Backend name (`seq`/`par`).
+    pub backend: String,
+    /// Batch size `B`.
+    pub batch: usize,
+    /// Discipline: `sequential`, `pack`, or `lanes`.
+    pub mode: String,
+    /// Best wall-clock over the measured repetitions, in nanoseconds.
+    pub wall_ns: u128,
+    /// Exact machine `T'` of the measured discipline.
+    pub t_prime: u64,
+    /// Exact machine `W'` of the measured discipline.
+    pub w_prime: u64,
+    /// `wall(sequential) / wall(this mode)` at the same batch size.
+    pub speedup_vs_sequential: f64,
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl BenchRecord {
+    /// The record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"example\": {}, \"backend\": {}, \"batch\": {}, \"mode\": {}, \
+             \"wall_ns\": {}, \"t_prime\": {}, \"w_prime\": {}, \
+             \"speedup_vs_sequential\": {:.4}}}",
+            json_str(&self.example),
+            json_str(&self.backend),
+            self.batch,
+            json_str(&self.mode),
+            self.wall_ns,
+            self.t_prime,
+            self.w_prime,
+            self.speedup_vs_sequential,
+        )
+    }
+}
+
+/// The full `BENCH_batch.json` document.
+pub fn json_report(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"nsc-bench/batch-v1\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn best_wall<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Measures `example` on `runner` at each batch size: the sequential
+/// baseline plus both batch modes, `reps` repetitions each (best wall
+/// kept).  Batches replicate `input` `B` times.
+///
+/// # Panics
+///
+/// If any batch mode's per-request results are not bit-identical to the
+/// loop of single runs — a wrong runtime must never report a speedup.
+pub fn measure_batches(
+    example: &str,
+    runner: &BatchRunner,
+    input: &Value,
+    batches: &[usize],
+    reps: u32,
+) -> Vec<BenchRecord> {
+    let backend = runner.backend().name().to_string();
+    let mut records = Vec::new();
+    for &b in batches {
+        let inputs: Vec<Value> = std::iter::repeat_n(input.clone(), b).collect();
+        let expected: Vec<_> = inputs
+            .iter()
+            .map(|v| runner.run_single(v).map(|p| p.0))
+            .collect();
+        let (seq_wall, seq_cost) = best_wall(reps, || {
+            let mut cost = Cost::ZERO;
+            for v in &inputs {
+                if let Ok((_, c)) = runner.run_single(v) {
+                    cost += c;
+                }
+            }
+            cost
+        });
+        records.push(BenchRecord {
+            example: example.to_string(),
+            backend: backend.clone(),
+            batch: b,
+            mode: "sequential".into(),
+            wall_ns: seq_wall,
+            t_prime: seq_cost.time,
+            w_prime: seq_cost.work,
+            speedup_vs_sequential: 1.0,
+        });
+        for mode in [BatchMode::Pack, BatchMode::Lanes] {
+            let (wall, outcome) = best_wall(reps, || runner.run_batch_mode(&inputs, mode));
+            assert_eq!(
+                outcome.results,
+                expected,
+                "{example}/{backend}/B={b}/{}: batch results diverge from single runs",
+                mode.name()
+            );
+            records.push(BenchRecord {
+                example: example.to_string(),
+                backend: backend.clone(),
+                batch: b,
+                mode: mode.name().into(),
+                wall_ns: wall,
+                t_prime: outcome.cost.time,
+                w_prime: outcome.cost.work,
+                speedup_vs_sequential: seq_wall as f64 / wall.max(1) as f64,
+            });
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CompiledCache;
+    use nsc_compile::{Backend, OptLevel};
+    use nsc_core::Type;
+
+    #[test]
+    fn measurements_cover_every_mode_and_are_valid_json_ish() {
+        let cache = CompiledCache::new();
+        let runner = BatchRunner::from_cache(
+            &cache,
+            &crate::workloads::map_square_plus_one(),
+            &Type::seq(Type::Nat),
+            OptLevel::O1,
+            Backend::Seq,
+        )
+        .unwrap();
+        let recs = measure_batches("unit", &runner, &Value::nat_seq(0..8), &[1, 4], 2);
+        assert_eq!(recs.len(), 6); // 2 sizes x {sequential, pack, lanes}
+        let doc = json_report(&recs);
+        assert!(doc.contains("\"schema\": \"nsc-bench/batch-v1\""));
+        assert!(doc.contains("\"mode\": \"pack\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // Sequential rows are the 1.0 baseline.
+        for r in recs.iter().filter(|r| r.mode == "sequential") {
+            assert_eq!(r.speedup_vs_sequential, 1.0);
+        }
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,349 @@
+//! The compile-once program cache.
+//!
+//! Serving traffic means the same handler function is compiled once and
+//! executed millions of times, so the Theorem 7.1 pipeline must run
+//! exactly once per distinct `(function, opt level, backend)` — under
+//! arbitrary thread contention.  [`CompiledCache`] guarantees that: the
+//! first thread to request a key runs the compiler, every concurrent
+//! requester blocks on that one compilation, and everybody gets the same
+//! shared [`CachedProgram`].
+//!
+//! Each entry holds **two** compiled programs:
+//!
+//! * `single` — the function `f : s → t` itself, for one-request runs and
+//!   for the *lanes* batch mode;
+//! * `batch` — the Map-Lemma kernel `map(f) : [s] → [t]`, which is what
+//!   the *pack* batch mode executes: one BVRAM run whose lane-offset
+//!   registers carry a whole batch (see [`crate::batch`]).  Kernels
+//!   larger than [`KERNEL_OPT_BUDGET`] skip the optimizer — a
+//!   compile-latency guard, not a semantic switch.
+//!
+//! Compilation failures are cached too (negative caching): a function
+//! that does not compile is not retried per request.
+//!
+//! ### Keying
+//!
+//! The function component of the key is the pretty-printed source
+//! (`parse(pretty(f)) == f` holds by the surface-syntax round-trip
+//! property, so printing is a faithful structural key).  Two
+//! alpha-equivalent functions with *different variable names* are
+//! distinct keys — callers that generate fresh names per request should
+//! normalize first or reuse the built AST.
+
+use crate::repr::{ErrorRepr, TypeRepr};
+use bvram::{Program, StaticCost};
+use nsc_compile::{compile_nsc_with, optimize, Backend, Compiled, OptLevel};
+use nsc_core::ast;
+use nsc_core::error::EvalError;
+use nsc_core::types::Type;
+use nsc_core::Func;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a cache entry is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Pretty-printed `f : dom` (a faithful structural key by the parser
+    /// round-trip property).
+    pub source: String,
+    /// Optimization level the programs were compiled at.
+    pub opt: OptLevel,
+    /// Backend the entry serves (the program text is backend-independent,
+    /// but serving systems tune and account per backend, so entries are
+    /// kept distinct).
+    pub backend: Backend,
+}
+
+impl CacheKey {
+    fn of(f: &Func, dom: &Type, opt: OptLevel, backend: Backend) -> CacheKey {
+        CacheKey {
+            source: format!("{f} : {dom}"),
+            opt,
+            backend,
+        }
+    }
+}
+
+/// One compiled program plus everything needed to run it from any thread.
+///
+/// [`Type`] is `Rc`-based, so the domain/codomain travel as [`TypeRepr`]
+/// mirrors; [`Artifact::dom`]/[`Artifact::cod`] rebuild real types on the
+/// calling thread.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The optimized BVRAM program.
+    pub program: Program,
+    /// Its input-independent `T'`/`W'` analysis.
+    pub stat: StaticCost,
+    dom: TypeRepr,
+    cod: TypeRepr,
+}
+
+impl Artifact {
+    fn of(c: Compiled) -> Artifact {
+        Artifact {
+            stat: c.stat,
+            dom: TypeRepr::of(&c.dom),
+            cod: TypeRepr::of(&c.cod),
+            program: c.program,
+        }
+    }
+
+    /// The NSC domain type, rebuilt on the calling thread.
+    pub fn dom(&self) -> Type {
+        self.dom.to_type()
+    }
+
+    /// The NSC codomain type, rebuilt on the calling thread.
+    pub fn cod(&self) -> Type {
+        self.cod.to_type()
+    }
+}
+
+/// A cache entry: the single-request program and the batch (pack) kernel.
+#[derive(Debug)]
+pub struct CachedProgram {
+    /// The key this entry was compiled for.
+    pub key: CacheKey,
+    /// `f : s → t` — single runs and the lanes mode.
+    pub single: Artifact,
+    /// `map(f) : [s] → [t]` — the pack mode's fused kernel.
+    pub batch: Artifact,
+}
+
+/// Observer invoked once per actual compilation (not per lookup) — lets
+/// tests and metrics count compiles without reaching into the cache.
+pub type CompileHook = Box<dyn Fn(&CacheKey) + Send + Sync>;
+
+// Stored as `Arc` so the hook can be cloned out of its mutex and invoked
+// after the guard drops — a hook may therefore re-enter the cache
+// (pre-warm a dependent key, swap itself out) without deadlocking.
+type SharedHook = Arc<dyn Fn(&CacheKey) + Send + Sync>;
+
+/// Pack kernels above this instruction count ship **unoptimized**.
+///
+/// Flattening `map(f)` multiplies program size (a `while`-heavy stdlib
+/// function's kernel reaches millions of instructions), and the
+/// optimizer's pass pipeline walks the program several times per round —
+/// tens of seconds of compile latency for a constant-factor run-time
+/// win that a serving path cannot amortize on first request.  The
+/// *single-request* program is always optimized at the requested level;
+/// only an oversized batch kernel skips the pipeline.  Measured with the
+/// `ctime` methodology behind `exp_batch`: at this budget every
+/// scalar-map kernel (the ones pack actually wins on) stays optimized.
+pub const KERNEL_OPT_BUDGET: usize = 1 << 19;
+
+// Failures are stored as the Send-safe [`ErrorRepr`] mirror (the real
+// [`EvalError`] embeds `Rc`-based types) and rebuilt per requester.
+type Entry = Arc<OnceLock<Result<Arc<CachedProgram>, ErrorRepr>>>;
+
+/// A thread-safe compile-once cache over the Theorem 7.1 pipeline.
+#[derive(Default)]
+pub struct CompiledCache {
+    map: Mutex<HashMap<CacheKey, Entry>>,
+    compiles: AtomicUsize,
+    hook: Mutex<Option<SharedHook>>,
+}
+
+impl CompiledCache {
+    /// An empty cache.
+    pub fn new() -> CompiledCache {
+        CompiledCache::default()
+    }
+
+    /// Installs `hook`, called exactly once per actual compilation (under
+    /// no lock the caller can observe, so a hook may re-enter the cache),
+    /// replacing any previous hook.
+    pub fn set_compile_hook(&self, hook: CompileHook) {
+        *self.hook.lock().unwrap() = Some(Arc::from(hook));
+    }
+
+    /// How many compilations have actually run (cache misses).
+    pub fn compiles(&self) -> usize {
+        self.compiles.load(Ordering::SeqCst)
+    }
+
+    /// Number of cached keys (including negatively cached failures).
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached entry for `(f, opt, backend)`, compiling *both*
+    /// programs (single and pack kernel) on the first request.  Blocks if
+    /// another thread is currently compiling the same key; never compiles
+    /// a key twice — including failed compilations, whose error is cached
+    /// and returned to every requester.
+    pub fn get_or_compile(
+        &self,
+        f: &Func,
+        dom: &Type,
+        opt: OptLevel,
+        backend: Backend,
+    ) -> Result<Arc<CachedProgram>, EvalError> {
+        let key = CacheKey::of(f, dom, opt, backend);
+        let cell = {
+            let mut map = self.map.lock().unwrap();
+            map.entry(key.clone()).or_default().clone()
+        };
+        // The map lock is released before compiling: a slow compilation
+        // of one key never blocks lookups of other keys.  OnceLock makes
+        // concurrent initializers of the *same* key block until the
+        // winner finishes, which is exactly the compile-once contract.
+        cell.get_or_init(|| {
+            self.compiles.fetch_add(1, Ordering::SeqCst);
+            // Clone the hook out and drop the guard before invoking it:
+            // a re-entrant hook must not deadlock on the hook mutex.
+            let hook = self.hook.lock().unwrap().clone();
+            if let Some(h) = hook {
+                h(&key);
+            }
+            let compiled: Result<(Compiled, Compiled), EvalError> = (|| {
+                let single = compile_nsc_with(f, dom, opt)?;
+                // The kernel is lowered unoptimized first so its size can
+                // gate the optimizer (see KERNEL_OPT_BUDGET).
+                let k0 =
+                    compile_nsc_with(&ast::map(f.clone()), &Type::seq(dom.clone()), OptLevel::O0)?;
+                let kernel = if opt != OptLevel::O0 && k0.program.instrs.len() <= KERNEL_OPT_BUDGET
+                {
+                    Compiled::from_parts(optimize(k0.program, opt), k0.dom, k0.cod)
+                } else {
+                    k0
+                };
+                Ok((single, kernel))
+            })();
+            match compiled {
+                Ok((single, kernel)) => Ok(Arc::new(CachedProgram {
+                    key: key.clone(),
+                    single: Artifact::of(single),
+                    batch: Artifact::of(kernel),
+                })),
+                Err(e) => Err(ErrorRepr::of(&e)),
+            }
+        })
+        .clone()
+        .map_err(|e| e.to_error())
+    }
+}
+
+impl std::fmt::Debug for CompiledCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledCache")
+            .field("len", &self.len())
+            .field("compiles", &self.compiles())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::ast as a;
+
+    fn inc() -> Func {
+        a::map(a::lam("x", a::add(a::var("x"), a::nat(1))))
+    }
+
+    #[test]
+    fn second_lookup_hits_the_cache() {
+        let cache = CompiledCache::new();
+        let dom = Type::seq(Type::Nat);
+        let p1 = cache
+            .get_or_compile(&inc(), &dom, OptLevel::O1, Backend::Seq)
+            .unwrap();
+        let p2 = cache
+            .get_or_compile(&inc(), &dom, OptLevel::O1, Backend::Seq)
+            .unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "same shared entry");
+        assert_eq!(cache.compiles(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn opt_level_and_backend_are_part_of_the_key() {
+        let cache = CompiledCache::new();
+        let dom = Type::seq(Type::Nat);
+        for (opt, backend) in [
+            (OptLevel::O0, Backend::Seq),
+            (OptLevel::O1, Backend::Seq),
+            (OptLevel::O1, Backend::Par),
+        ] {
+            cache.get_or_compile(&inc(), &dom, opt, backend).unwrap();
+        }
+        assert_eq!(cache.compiles(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn failed_compilations_are_cached_once() {
+        let cache = CompiledCache::new();
+        // `y` is unbound: translation fails.
+        let broken = a::lam("x", a::add(a::var("x"), a::var("y")));
+        let e1 = cache
+            .get_or_compile(&broken, &Type::Nat, OptLevel::O1, Backend::Seq)
+            .unwrap_err();
+        let e2 = cache
+            .get_or_compile(&broken, &Type::Nat, OptLevel::O1, Backend::Seq)
+            .unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(cache.compiles(), 1, "negative result cached");
+    }
+
+    #[test]
+    fn kernel_optimization_respects_the_size_budget() {
+        // Compiling while-loop kernels recurses with program depth; give
+        // the test the same roomy stack the CLI driver uses.
+        std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(kernel_budget_body)
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    fn kernel_budget_body() {
+        let cache = CompiledCache::new();
+        let dom = Type::seq(Type::Nat);
+        // Tiny scalar-map kernel: the optimizer runs (registers shrink
+        // vs the unoptimized lowering).
+        let entry = cache
+            .get_or_compile(&inc(), &dom, OptLevel::O1, Backend::Seq)
+            .unwrap();
+        let k0 = compile_nsc_with(&ast::map(inc()), &Type::seq(dom.clone()), OptLevel::O0).unwrap();
+        assert!(entry.batch.program.instrs.len() < k0.program.instrs.len());
+        assert!(entry.batch.program.instrs.len() <= KERNEL_OPT_BUDGET);
+
+        // A while-loop kernel blows past the budget and ships unoptimized
+        // (identical to its O0 lowering).
+        let f = a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x")));
+        let entry = cache
+            .get_or_compile(&f, &dom, OptLevel::O1, Backend::Seq)
+            .unwrap();
+        let k0 = compile_nsc_with(&ast::map(f), &Type::seq(dom), OptLevel::O0).unwrap();
+        assert!(
+            k0.program.instrs.len() > KERNEL_OPT_BUDGET,
+            "workload choice"
+        );
+        assert_eq!(entry.batch.program.instrs.len(), k0.program.instrs.len());
+        // The single-request program is optimized regardless.
+        let s0 = compile_nsc_with(
+            &a::lam("x", nsc_core::stdlib::numeric::sum_seq(a::var("x"))),
+            &Type::seq(Type::Nat),
+            OptLevel::O0,
+        )
+        .unwrap();
+        assert!(entry.single.program.instrs.len() < s0.program.instrs.len());
+    }
+
+    #[test]
+    fn entry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CachedProgram>();
+        assert_send_sync::<CompiledCache>();
+    }
+}

@@ -1,0 +1,37 @@
+//! # nsc-runtime — the batched execution runtime
+//!
+//! The Theorem 7.1 pipeline compiles one NSC function into one BVRAM
+//! program; this crate is the serving layer that makes compiled programs
+//! *cheap at scale*:
+//!
+//! * [`cache::CompiledCache`] — a thread-safe compile-once cache keyed by
+//!   `(function, opt level, backend)`.  Each entry holds the optimized
+//!   program, its static `T'`/`W'` analysis
+//!   ([`bvram::StaticCost`]), **and** the function's Map-Lemma batch
+//!   kernel `map(f)`, compiled alongside it.
+//! * [`batch::BatchRunner`] — executes `B` independent requests against
+//!   one cached entry, either *packed* (one fused BVRAM run of `map(f)`
+//!   over lane-offset registers — the paper's flattening aggregation
+//!   applied to request batching) or as *lanes* (rayon-parallel
+//!   per-request runs), choosing between them with the cost model's
+//!   predicted `W'`.
+//! * [`workloads`] — the shared program builders every bench and
+//!   experiment constructs its subjects from.
+//! * [`bench`](mod@bench) — wall-clock measurement records and the
+//!   `BENCH_batch.json` writer consumed by CI's `perf-smoke` job.
+//!
+//! The batch modes are **semantically invisible**: per-request results —
+//! values and error classification — are bit-identical to a loop of
+//! single runs (property-tested over random programs and the whole
+//! stdlib in `tests/batch_equiv.rs`).
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod bench;
+pub mod cache;
+pub mod repr;
+pub mod workloads;
+
+pub use batch::{BatchMode, BatchOutcome, BatchRunner, PACK_WORK_CUTOFF};
+pub use bench::{json_report, measure_batches, BenchRecord};
+pub use cache::{CacheKey, CachedProgram, CompileHook, CompiledCache, KERNEL_OPT_BUDGET};

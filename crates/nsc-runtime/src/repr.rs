@@ -1,0 +1,241 @@
+//! `Send + Sync` mirrors of [`Type`] and [`EvalError`].
+//!
+//! [`Type`] interns its subterms behind `Rc`, so it cannot cross threads
+//! — but the compiled-program cache must be shared across serving
+//! threads.  [`TypeRepr`] is the same tree over `Box`, stored in cache
+//! entries and rebuilt into a real [`Type`] on whichever thread needs to
+//! encode or decode values (an `O(|type|)` conversion, paid once per
+//! `BatchRunner`, never per request).  [`ErrorRepr`] extends the same
+//! treatment to [`EvalError`] (whose `Translation` variant embeds types)
+//! so compile *failures* can be negatively cached and handed back to
+//! every thread structurally intact.
+
+use nsc_core::error::{EvalError, TypeError};
+use nsc_core::types::Type;
+
+/// A thread-portable NSC type (same grammar as [`Type`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeRepr {
+    /// `unit`.
+    Unit,
+    /// `N`.
+    Nat,
+    /// `s × t`.
+    Prod(Box<TypeRepr>, Box<TypeRepr>),
+    /// `s + t`.
+    Sum(Box<TypeRepr>, Box<TypeRepr>),
+    /// `[t]`.
+    Seq(Box<TypeRepr>),
+}
+
+impl TypeRepr {
+    /// Mirrors a [`Type`].
+    pub fn of(t: &Type) -> TypeRepr {
+        match t {
+            Type::Unit => TypeRepr::Unit,
+            Type::Nat => TypeRepr::Nat,
+            Type::Prod(a, b) => {
+                TypeRepr::Prod(Box::new(TypeRepr::of(a)), Box::new(TypeRepr::of(b)))
+            }
+            Type::Sum(a, b) => TypeRepr::Sum(Box::new(TypeRepr::of(a)), Box::new(TypeRepr::of(b))),
+            Type::Seq(s) => TypeRepr::Seq(Box::new(TypeRepr::of(s))),
+        }
+    }
+
+    /// Rebuilds the real [`Type`] on the calling thread.
+    pub fn to_type(&self) -> Type {
+        match self {
+            TypeRepr::Unit => Type::Unit,
+            TypeRepr::Nat => Type::Nat,
+            TypeRepr::Prod(a, b) => Type::prod(a.to_type(), b.to_type()),
+            TypeRepr::Sum(a, b) => Type::sum(a.to_type(), b.to_type()),
+            TypeRepr::Seq(s) => Type::seq(s.to_type()),
+        }
+    }
+}
+
+/// A thread-portable [`TypeError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeErrorRepr {
+    /// Mirror of [`TypeError::UnboundVariable`].
+    UnboundVariable(String),
+    /// Mirror of [`TypeError::UnknownFunction`].
+    UnknownFunction(String),
+    /// Mirror of [`TypeError::Mismatch`].
+    Mismatch {
+        /// Where the mismatch occurred.
+        context: &'static str,
+        /// The type that was required.
+        expected: TypeRepr,
+        /// The type that was found.
+        found: TypeRepr,
+    },
+    /// Mirror of [`TypeError::WrongShape`].
+    WrongShape {
+        /// Where the error occurred.
+        context: &'static str,
+        /// The offending type.
+        found: TypeRepr,
+    },
+    /// Mirror of [`TypeError::CannotInfer`].
+    CannotInfer(&'static str),
+}
+
+impl TypeErrorRepr {
+    /// Mirrors a [`TypeError`].
+    pub fn of(e: &TypeError) -> TypeErrorRepr {
+        match e {
+            TypeError::UnboundVariable(x) => TypeErrorRepr::UnboundVariable(x.clone()),
+            TypeError::UnknownFunction(x) => TypeErrorRepr::UnknownFunction(x.clone()),
+            TypeError::Mismatch {
+                context,
+                expected,
+                found,
+            } => TypeErrorRepr::Mismatch {
+                context,
+                expected: TypeRepr::of(expected),
+                found: TypeRepr::of(found),
+            },
+            TypeError::WrongShape { context, found } => TypeErrorRepr::WrongShape {
+                context,
+                found: TypeRepr::of(found),
+            },
+            TypeError::CannotInfer(context) => TypeErrorRepr::CannotInfer(context),
+        }
+    }
+
+    /// Rebuilds the real [`TypeError`].
+    pub fn to_error(&self) -> TypeError {
+        match self {
+            TypeErrorRepr::UnboundVariable(x) => TypeError::UnboundVariable(x.clone()),
+            TypeErrorRepr::UnknownFunction(x) => TypeError::UnknownFunction(x.clone()),
+            TypeErrorRepr::Mismatch {
+                context,
+                expected,
+                found,
+            } => TypeError::Mismatch {
+                context,
+                expected: expected.to_type(),
+                found: found.to_type(),
+            },
+            TypeErrorRepr::WrongShape { context, found } => TypeError::WrongShape {
+                context,
+                found: found.to_type(),
+            },
+            TypeErrorRepr::CannotInfer(context) => TypeError::CannotInfer(context),
+        }
+    }
+}
+
+/// A thread-portable [`EvalError`] (structurally faithful: converting
+/// there and back yields an equal error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorRepr {
+    /// Mirror of [`EvalError::Omega`].
+    Omega,
+    /// Mirror of [`EvalError::UnboundVariable`].
+    UnboundVariable(String),
+    /// Mirror of [`EvalError::UnknownFunction`].
+    UnknownFunction(String),
+    /// Mirror of [`EvalError::GetNonSingleton`].
+    GetNonSingleton(usize),
+    /// Mirror of [`EvalError::ZipLengthMismatch`].
+    ZipLengthMismatch(usize, usize),
+    /// Mirror of [`EvalError::SplitSumMismatch`].
+    SplitSumMismatch {
+        /// Length of the sequence being split.
+        have: u64,
+        /// Sum of the requested segment lengths.
+        want: u64,
+    },
+    /// Mirror of [`EvalError::DivisionByZero`].
+    DivisionByZero,
+    /// Mirror of [`EvalError::Stuck`].
+    Stuck(&'static str),
+    /// Mirror of [`EvalError::FuelExhausted`].
+    FuelExhausted,
+    /// Mirror of [`EvalError::MachineFault`].
+    MachineFault(String),
+    /// Mirror of [`EvalError::Translation`].
+    Translation(TypeErrorRepr),
+}
+
+impl ErrorRepr {
+    /// Mirrors an [`EvalError`].
+    pub fn of(e: &EvalError) -> ErrorRepr {
+        match e {
+            EvalError::Omega => ErrorRepr::Omega,
+            EvalError::UnboundVariable(x) => ErrorRepr::UnboundVariable(x.clone()),
+            EvalError::UnknownFunction(x) => ErrorRepr::UnknownFunction(x.clone()),
+            EvalError::GetNonSingleton(n) => ErrorRepr::GetNonSingleton(*n),
+            EvalError::ZipLengthMismatch(a, b) => ErrorRepr::ZipLengthMismatch(*a, *b),
+            EvalError::SplitSumMismatch { have, want } => ErrorRepr::SplitSumMismatch {
+                have: *have,
+                want: *want,
+            },
+            EvalError::DivisionByZero => ErrorRepr::DivisionByZero,
+            EvalError::Stuck(what) => ErrorRepr::Stuck(what),
+            EvalError::FuelExhausted => ErrorRepr::FuelExhausted,
+            EvalError::MachineFault(what) => ErrorRepr::MachineFault(what.clone()),
+            EvalError::Translation(t) => ErrorRepr::Translation(TypeErrorRepr::of(t)),
+        }
+    }
+
+    /// Rebuilds the real [`EvalError`] on the calling thread.
+    pub fn to_error(&self) -> EvalError {
+        match self {
+            ErrorRepr::Omega => EvalError::Omega,
+            ErrorRepr::UnboundVariable(x) => EvalError::UnboundVariable(x.clone()),
+            ErrorRepr::UnknownFunction(x) => EvalError::UnknownFunction(x.clone()),
+            ErrorRepr::GetNonSingleton(n) => EvalError::GetNonSingleton(*n),
+            ErrorRepr::ZipLengthMismatch(a, b) => EvalError::ZipLengthMismatch(*a, *b),
+            ErrorRepr::SplitSumMismatch { have, want } => EvalError::SplitSumMismatch {
+                have: *have,
+                want: *want,
+            },
+            ErrorRepr::DivisionByZero => EvalError::DivisionByZero,
+            ErrorRepr::Stuck(what) => EvalError::Stuck(what),
+            ErrorRepr::FuelExhausted => EvalError::FuelExhausted,
+            ErrorRepr::MachineFault(what) => EvalError::MachineFault(what.clone()),
+            ErrorRepr::Translation(t) => EvalError::Translation(t.to_error()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_round_trip_is_faithful() {
+        let errs = [
+            EvalError::Omega,
+            EvalError::Translation(TypeError::UnboundVariable("y".into())),
+            EvalError::Translation(TypeError::Mismatch {
+                context: "app",
+                expected: Type::seq(Type::Nat),
+                found: Type::Unit,
+            }),
+            EvalError::MachineFault("bad route".into()),
+        ];
+        for e in errs {
+            assert_eq!(ErrorRepr::of(&e).to_error(), e);
+        }
+    }
+
+    #[test]
+    fn round_trips_every_constructor() {
+        let t = Type::prod(
+            Type::seq(Type::sum(Type::Unit, Type::Nat)),
+            Type::seq(Type::seq(Type::Nat)),
+        );
+        assert_eq!(TypeRepr::of(&t).to_type(), t);
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn is_send_and_sync() {
+        assert_send_sync::<TypeRepr>();
+    }
+}

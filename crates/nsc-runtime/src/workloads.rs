@@ -1,0 +1,114 @@
+//! Shared workload builders for benchmarks and experiments.
+//!
+//! Every criterion bench and batch experiment constructs its programs
+//! here, so "the sum workload" means the same AST in `benches/*.rs`,
+//! `exp_t71`, `exp_opt`, `exp_batch`, and `bench_report` — apples to
+//! apples across the whole perf surface.
+//!
+//! **Machine-reuse policy for benchmarks**: construct machines *once per
+//! benchmark* and reuse them across iterations (warm register buffers) —
+//! that is the serving runtime's steady state, which is what the benches
+//! model.  A bench that wants cold-start numbers must say so in its name.
+
+use nsc_core::ast as a;
+use nsc_core::stdlib;
+use nsc_core::Func;
+
+/// A raw-BVRAM kernel: `y ← 3x²-ish` through a few registers (the
+/// backend-crossover workload of `benches/wallclock.rs`).
+pub fn saxpy_like() -> bvram::Program {
+    use bvram::{Builder, Instr::*, Op};
+    let mut b = Builder::new(2, 1);
+    b.push(Arith {
+        dst: 2,
+        op: Op::Mul,
+        a: 0,
+        b: 0,
+    })
+    .push(Arith {
+        dst: 3,
+        op: Op::Add,
+        a: 2,
+        b: 1,
+    })
+    .push(Arith {
+        dst: 2,
+        op: Op::Mul,
+        a: 3,
+        b: 0,
+    })
+    .push(Arith {
+        dst: 0,
+        op: Op::Add,
+        a: 2,
+        b: 3,
+    })
+    .push(Halt);
+    b.build().expect("static kernel")
+}
+
+/// `map(λx. x·x + 1) : [N] → [N]`.
+pub fn map_square_plus_one() -> Func {
+    a::map(a::lam(
+        "x",
+        a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+    ))
+}
+
+/// Tree sum via the stdlib `while` loop: `λx. sum(x) : [N] → N`.
+pub fn sum_while() -> Func {
+    a::lam("x", stdlib::numeric::sum_seq(a::var("x")))
+}
+
+/// `λx. prefix_sum(x) : [N] → [N]`.
+pub fn prefix_sum() -> Func {
+    a::lam("x", stdlib::numeric::prefix_sum(a::var("x")))
+}
+
+/// The Map Lemma's hard case: a data-dependent `while` under `map`.
+pub fn halve_all() -> Func {
+    a::map(a::while_(
+        a::lam("x", a::lt(a::nat(0), a::var("x"))),
+        a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+    ))
+}
+
+/// The shared `EXP-T71`/`EXP-OPT`/`EXP-BATCH` suite over `[N]`.
+pub fn suite() -> Vec<(&'static str, Func)> {
+    vec![
+        ("map(x*x+1)", map_square_plus_one()),
+        ("sum (while)", sum_while()),
+        ("prefix-sum", prefix_sum()),
+        ("map(while halve)", halve_all()),
+    ]
+}
+
+/// The optimizer-ablation pair (`benches/optimizer.rs`).
+pub fn optimizer_pair() -> Vec<(&'static str, Func)> {
+    vec![("map_sq", map_square_plus_one()), ("sum", sum_while())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::value::Value;
+    use nsc_core::Type;
+
+    #[test]
+    fn every_suite_workload_compiles_and_runs() {
+        for (name, f) in suite() {
+            let c = nsc_compile::compile_nsc(&f, &Type::seq(Type::Nat)).expect(name);
+            let arg = Value::nat_seq(0..8);
+            let (got, _) = nsc_compile::run_compiled(&c, &arg).expect(name);
+            let (want, _) = nsc_core::eval::apply_func(&f, arg).expect(name);
+            assert_eq!(got, want, "{name}");
+        }
+    }
+
+    #[test]
+    fn saxpy_kernel_runs() {
+        let p = saxpy_like();
+        let out = bvram::run_program(&p, &[vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+        assert_eq!(out.outputs[0].len(), 3);
+    }
+}

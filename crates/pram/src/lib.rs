@@ -115,7 +115,9 @@ fn run_instrumented(prog: &Program, inputs: &[Vector]) -> Result<Trace, MachineE
         if steps > outcome.stats.time + 1 {
             break; // defensive: should not happen
         }
-        let Some(ins) = prog.instrs.get(pc) else { break };
+        let Some(ins) = prog.instrs.get(pc) else {
+            break;
+        };
         let in_w: u64 = ins.inputs().iter().map(|r| lens[*r as usize]).sum();
         let mut jumped = false;
         let routing = matches!(
@@ -200,7 +202,11 @@ mod tests {
         let inputs = vec![(0..n).collect(), (0..n).collect()];
         let s = run_brent(&p, &inputs, 1).unwrap();
         assert!(s.cycles >= s.work, "p=1 pays all the work");
-        assert!(s.ratio() < 3.0, "constant-factor Brent bound: {}", s.ratio());
+        assert!(
+            s.ratio() < 3.0,
+            "constant-factor Brent bound: {}",
+            s.ratio()
+        );
     }
 
     #[test]

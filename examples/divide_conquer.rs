@@ -38,7 +38,10 @@ fn main() {
     let n = 128;
     let arg = fixtures::range(0, n);
     let w_plain = apply_func(&translate(&def), arg.clone()).unwrap().1.work;
-    let w_k2 = apply_func(&translate_staged(&def, 2), arg.clone()).unwrap().1.work;
+    let w_k2 = apply_func(&translate_staged(&def, 2), arg.clone())
+        .unwrap()
+        .1
+        .work;
     let w_k3 = apply_func(&translate_staged(&def, 3), arg).unwrap().1.work;
     println!("staircase n={n}: W' plain = {w_plain}, staged k=2: {w_k2}, k=3: {w_k3}");
 }

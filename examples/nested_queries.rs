@@ -63,9 +63,8 @@ fn main() {
     println!("all amounts:   {v}");
     let sorted = nsc::algorithms::valiant::rank_sort({
         let vs = v.as_nat_seq().unwrap();
-        vs.iter().fold(empty(Type::Nat), |acc, &n| {
-            append(acc, singleton(nat(n)))
-        })
+        vs.iter()
+            .fold(empty(Type::Nat), |acc, &n| append(acc, singleton(nat(n))))
     });
     let (v, _) = nsc::core::eval::eval_term(&sorted).unwrap();
     println!("sorted:        {v}");

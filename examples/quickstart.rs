@@ -20,7 +20,10 @@ fn main() {
     // independent of the sequence length, work W is linear.
     for n in [8u64, 64, 512] {
         let (out, cost) = nsc::core::eval::apply_func(&f, Value::nat_seq(0..n)).unwrap();
-        println!("n = {n:4}: {cost}   (first outputs: {:?})", &out.as_nat_seq().unwrap()[..4.min(n as usize)]);
+        println!(
+            "n = {n:4}: {cost}   (first outputs: {:?})",
+            &out.as_nat_seq().unwrap()[..4.min(n as usize)]
+        );
     }
 
     // Theorem 7.1: compile NSC -> NSA -> SA -> BVRAM and run on the machine.
@@ -30,7 +33,8 @@ fn main() {
         compiled.program.instrs.len(),
         compiled.program.n_regs
     );
-    let (out, machine_cost) = nsc::compile::run_compiled(&compiled, &Value::nat_seq(0..16)).unwrap();
+    let (out, machine_cost) =
+        nsc::compile::run_compiled(&compiled, &Value::nat_seq(0..16)).unwrap();
     println!("machine output: {out}");
     println!("machine cost:   {machine_cost}");
 }

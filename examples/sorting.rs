@@ -37,6 +37,9 @@ fn main() {
     for n in [64u64, 256] {
         let xs: Vec<u64> = (0..n).map(|i| (i * 40503) % 1009).collect();
         let out = eval_maprec(&def, Value::nat_seq(xs)).unwrap();
-        println!("n = {n:4}: T = {:6}  W = {:9}", out.cost.time, out.cost.work);
+        println!(
+            "n = {n:4}: T = {:6}  W = {:9}",
+            out.cost.time, out.cost.work
+        );
     }
 }

@@ -10,12 +10,20 @@
 //! nsc check   file.nsc                 parse + type check, print signatures
 //! nsc run     file.nsc [options]       evaluate + compile + run, cost table
 //! nsc compile file.nsc [options]       print the compiled BVRAM program
+//! nsc bench   file.nsc [options]       wall-clock the batch runtime
 //! ```
+//!
+//! `nsc run --batch N` additionally serves the input `N` times through
+//! the batched runtime (`nsc::runtime`), cross-checking every batched
+//! result against the single-run answer; `nsc bench` measures the
+//! sequential / pack / lanes disciplines and can write the machine-
+//! readable `BENCH_batch.json` records with `--json`.
 
 use nsc::compile::{compile_nsc_with, run_compiled_on, Backend, OptLevel};
 use nsc::core::eval::Evaluator;
 use nsc::core::parse::{parse_module, parse_value, Module};
 use nsc::core::{Cost, EvalError};
+use nsc::runtime::{measure_batches, BatchRunner, CompiledCache};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,6 +33,8 @@ USAGE:
     nsc check   <file.nsc>             parse and type check, print signatures
     nsc run     <file.nsc> [OPTIONS]   evaluate, compile, run; print T/W vs T'/W'
     nsc compile <file.nsc> [OPTIONS]   print the compiled BVRAM program
+    nsc bench   <file.nsc> [OPTIONS]   wall-clock batched execution (the
+                                       sequential baseline vs pack vs lanes)
 
 OPTIONS:
     --entry <name>      entry function (default: `main`, or the sole definition)
@@ -34,6 +44,10 @@ OPTIONS:
                         code (default: both)
     --source-only       (run) skip compilation, evaluate only
     --fuel <n>          abort source evaluation after n rule applications
+    --batch <n>         (run) also serve the input n times through the batch
+                        runtime; (bench) measure only batch size n instead of
+                        the default sweep 1, 8, 64
+    --json <path>       (bench) also write the records as BENCH_batch.json
 ";
 
 struct Opts {
@@ -45,6 +59,8 @@ struct Opts {
     backends: Vec<Backend>,
     source_only: bool,
     fuel: Option<u64>,
+    batch: Option<usize>,
+    json: Option<String>,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
@@ -52,7 +68,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         return Err("expected a command and a file".into());
     }
     let cmd = args.remove(0);
-    if !["check", "run", "compile"].contains(&cmd.as_str()) {
+    if !["check", "run", "compile", "bench"].contains(&cmd.as_str()) {
         return Err(format!("unknown command `{cmd}`"));
     }
     let file = args.remove(0);
@@ -65,12 +81,22 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         backends: vec![Backend::Seq, Backend::Par],
         source_only: false,
         fuel: None,
+        batch: None,
+        json: None,
     };
     // Silently dropping a flag hides typos; each subcommand accepts only
     // the options it actually reads.
     let allowed: &[&str] = match opts.cmd.as_str() {
         "check" => &[],
         "compile" => &["--entry", "--opt"],
+        "bench" => &[
+            "--entry",
+            "--input",
+            "--opt",
+            "--backend",
+            "--batch",
+            "--json",
+        ],
         _ => &[
             "--entry",
             "--input",
@@ -78,20 +104,15 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
             "--backend",
             "--source-only",
             "--fuel",
+            "--batch",
         ],
     };
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         if flag.starts_with("--") && !allowed.contains(&flag.as_str()) {
-            return Err(format!(
-                "`nsc {}` does not accept `{flag}`",
-                opts.cmd
-            ));
+            return Err(format!("`nsc {}` does not accept `{flag}`", opts.cmd));
         }
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--entry" => opts.entry = Some(val("--entry")?),
             "--input" => opts.input = Some(val("--input")?),
@@ -107,9 +128,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
                     "seq" => vec![Backend::Seq],
                     "par" => vec![Backend::Par],
                     "both" => vec![Backend::Seq, Backend::Par],
-                    other => {
-                        return Err(format!("--backend expects seq|par|both, got `{other}`"))
-                    }
+                    other => return Err(format!("--backend expects seq|par|both, got `{other}`")),
                 }
             }
             "--source-only" => opts.source_only = true,
@@ -120,6 +139,16 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
                         .map_err(|_| "--fuel expects a number".to_string())?,
                 )
             }
+            "--batch" => {
+                let n: usize = val("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch expects a number".to_string())?;
+                if n == 0 {
+                    return Err("--batch expects a positive number".into());
+                }
+                opts.batch = Some(n);
+            }
+            "--json" => opts.json = Some(val("--json")?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -185,6 +214,7 @@ fn drive(opts: &Opts) -> Result<(), String> {
         }
         "compile" => cmd_compile(opts, &module),
         "run" => cmd_run(opts, &module),
+        "bench" => cmd_bench(opts, &module),
         _ => unreachable!(),
     }
 }
@@ -288,6 +318,44 @@ fn cmd_run(opts: &Opts, module: &Module) -> Result<(), String> {
                     }
                     rows.push((format!("bvram/{} (T'/W')", backend.name()), cost));
                 }
+                // Serve the input --batch times through the batched
+                // runtime; every result must equal the single-run answer.
+                if let Some(b) = opts.batch {
+                    let cache = CompiledCache::new();
+                    let inputs = vec![input.clone(); b];
+                    for &backend in &opts.backends {
+                        let runner =
+                            BatchRunner::from_cache(&cache, &pure, &def.dom, opts.opt, backend)
+                                .map_err(|e| format!("batch compile `{entry}`: {e}"))?;
+                        let outcome = runner.run_batch(&inputs);
+                        for (i, r) in outcome.results.iter().enumerate() {
+                            match r {
+                                Ok(v) if *v == value => {}
+                                Ok(v) => {
+                                    return Err(format!(
+                                        "batch/{} request {i} disagrees: {v} != {value}",
+                                        backend.name()
+                                    ))
+                                }
+                                Err(e) => {
+                                    return Err(format!(
+                                        "batch/{} request {i}: {e}",
+                                        backend.name()
+                                    ))
+                                }
+                            }
+                        }
+                        rows.push((
+                            format!(
+                                "batch/{} B={b} {}{}",
+                                backend.name(),
+                                outcome.mode.name(),
+                                if outcome.fused { " (fused)" } else { "" }
+                            ),
+                            outcome.cost,
+                        ));
+                    }
+                }
             }
         }
     }
@@ -296,6 +364,55 @@ fn cmd_run(opts: &Opts, module: &Module) -> Result<(), String> {
     let _ = writeln!(out, "{:name_w$}  {:>12}  {:>12}", "", "time", "work");
     for (name, c) in &rows {
         let _ = writeln!(out, "{name:name_w$}  {:>12}  {:>12}", c.time, c.work);
+    }
+    Ok(())
+}
+
+fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {
+    let entry = entry_name(opts, module)?;
+    let def = module
+        .get(&entry)
+        .ok_or_else(|| format!("no definition named `{entry}`"))?;
+    let input = match &opts.input {
+        Some(src) => parse_value(src).map_err(|e| format!("--input: {e}"))?,
+        None => module.input.clone().ok_or_else(|| {
+            "no input: pass --input '<value>' or add an `input <value>` directive".to_string()
+        })?,
+    };
+    if !def.dom.admits(&input) {
+        return Err(format!(
+            "input {input} does not inhabit `{entry}`'s domain {}",
+            def.dom
+        ));
+    }
+    let pure = module.inlined(&entry).map_err(|e| e.to_string())?;
+    let batches: Vec<usize> = opts.batch.map(|b| vec![b]).unwrap_or(vec![1, 8, 64]);
+    let cache = CompiledCache::new();
+    let mut records = Vec::new();
+    for &backend in &opts.backends {
+        let runner = BatchRunner::from_cache(&cache, &pure, &def.dom, opts.opt, backend)
+            .map_err(|e| format!("compiling `{entry}`: {e}"))?;
+        records.extend(measure_batches(&entry, &runner, &input, &batches, 5));
+    }
+
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>6} {:>12} {:>14} {:>12} {:>14} {:>9}",
+        "backend", "B", "mode", "wall_ns", "T'", "W'", "speedup"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>12} {:>14} {:>12} {:>14} {:>8.2}x",
+            r.backend, r.batch, r.mode, r.wall_ns, r.t_prime, r.w_prime, r.speedup_vs_sequential
+        );
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, nsc::runtime::json_report(&records))
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+        let _ = writeln!(out, "wrote {} records to {path}", records.len());
     }
     Ok(())
 }

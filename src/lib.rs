@@ -13,6 +13,9 @@
 //!   and the flattening translation (Proposition 7.4);
 //! * [`compile`] — SA → BVRAM code generation
 //!   (Proposition 7.5) and the full Theorem 7.1 pipeline;
+//! * [`runtime`] — the serving layer: the compile-once
+//!   program cache and the pack/lanes batch runner (see the README's
+//!   "Serving and batching" section);
 //! * [`machine`] — the Bounded Vector Random Access Machine with
 //!   sequential and rayon backends;
 //! * [`net`] — the Proposition 2.1 butterfly-network bound;
@@ -24,10 +27,11 @@
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-
 //! measured record.
 
-pub use bvram as machine;
 pub use butterfly as net;
+pub use bvram as machine;
 pub use nsc_algebra as algebra;
 pub use nsc_algorithms as algorithms;
 pub use nsc_compile as compile;
 pub use nsc_core as core;
+pub use nsc_runtime as runtime;
 pub use pram as sched;

@@ -10,7 +10,10 @@ pub fn suite() -> Vec<(&'static str, Func)> {
     vec![
         (
             "square+1",
-            a::map(a::lam("x", a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)))),
+            a::map(a::lam(
+                "x",
+                a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+            )),
         ),
         (
             "running-sum",

@@ -82,7 +82,10 @@ fn every_nsc_example_runs_under_the_cli() {
         );
         ran += 1;
     }
-    assert!(ran >= 5, "expected at least 5 .nsc golden files, found {ran}");
+    assert!(
+        ran >= 5,
+        "expected at least 5 .nsc golden files, found {ran}"
+    );
 }
 
 #[test]

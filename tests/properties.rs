@@ -16,7 +16,11 @@ fn nested() -> impl Strategy<Value = Vec<Vec<u64>>> {
 }
 
 fn to_value(v: &[Vec<u64>]) -> Value {
-    Value::seq(v.iter().map(|xs| Value::nat_seq(xs.iter().copied())).collect())
+    Value::seq(
+        v.iter()
+            .map(|xs| Value::nat_seq(xs.iter().copied()))
+            .collect(),
+    )
 }
 
 mod common;

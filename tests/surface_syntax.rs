@@ -40,8 +40,14 @@ fn stdlib_round_trips() {
             "prefix_sum",
             a::lam("x", stdlib::numeric::prefix_sum(a::var("x"))),
         ),
-        ("sum_seq", a::lam("x", stdlib::numeric::sum_seq(a::var("x")))),
-        ("maximum", a::lam("x", stdlib::numeric::maximum(a::var("x")))),
+        (
+            "sum_seq",
+            a::lam("x", stdlib::numeric::sum_seq(a::var("x"))),
+        ),
+        (
+            "maximum",
+            a::lam("x", stdlib::numeric::maximum(a::var("x"))),
+        ),
         (
             "isqrt_pow2",
             a::lam("x", stdlib::numeric::isqrt_pow2(a::var("x"))),
@@ -78,9 +84,18 @@ fn stdlib_round_trips() {
                 stdlib::routing::combine_flags(a::var("x"), a::var("x"), a::var("x"), &n),
             ),
         ),
-        ("nth", a::lam("x", stdlib::lists::nth(a::var("x"), a::nat(0), &n))),
-        ("take", a::lam("x", stdlib::lists::take(a::var("x"), a::nat(2), &n))),
-        ("drop", a::lam("x", stdlib::lists::drop(a::var("x"), a::nat(2), &n))),
+        (
+            "nth",
+            a::lam("x", stdlib::lists::nth(a::var("x"), a::nat(0), &n)),
+        ),
+        (
+            "take",
+            a::lam("x", stdlib::lists::take(a::var("x"), a::nat(2), &n)),
+        ),
+        (
+            "drop",
+            a::lam("x", stdlib::lists::drop(a::var("x"), a::nat(2), &n)),
+        ),
         ("first", a::lam("x", stdlib::lists::first(a::var("x"), &n))),
         ("last", a::lam("x", stdlib::lists::last(a::var("x"), &n))),
         ("tail", a::lam("x", stdlib::lists::tail(a::var("x"), &n))),
@@ -88,7 +103,10 @@ fn stdlib_round_trips() {
             "remove_last",
             a::lam("x", stdlib::lists::remove_last(a::var("x"), &n)),
         ),
-        ("lam2", stdlib::util::lam2("a", "b", a::monus(a::var("a"), a::var("b")))),
+        (
+            "lam2",
+            stdlib::util::lam2("a", "b", a::monus(a::var("a"), a::var("b"))),
+        ),
     ];
     for (name, f) in &cases {
         roundtrip(name, f);
@@ -98,7 +116,11 @@ fn stdlib_round_trips() {
 #[test]
 fn maprec_fixtures_round_trip() {
     use nsc::core::maprec::{fixtures, translate::translate};
-    for def in [fixtures::range_sum(), fixtures::range_sum3(), fixtures::staircase()] {
+    for def in [
+        fixtures::range_sum(),
+        fixtures::range_sum3(),
+        fixtures::staircase(),
+    ] {
         roundtrip(&format!("maprec body {}", def.name), &def.body());
         roundtrip(&format!("maprec translated {}", def.name), &translate(&def));
     }
@@ -161,8 +183,7 @@ fn golden_list_is_exhaustive() {
         .expect("examples/ directory")
         .filter_map(|e| {
             let p = e.ok()?.path();
-            (p.extension()? == "nsc")
-                .then(|| p.file_name().unwrap().to_string_lossy().into_owned())
+            (p.extension()? == "nsc").then(|| p.file_name().unwrap().to_string_lossy().into_owned())
         })
         .collect();
     found.sort();
@@ -180,7 +201,9 @@ fn golden_examples_run_on_both_backends() {
         let src = std::fs::read_to_string(examples_src_dir().join(name)).unwrap();
         let module = parse_module(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
         module.check().unwrap_or_else(|e| panic!("{name}: {e}"));
-        let def = module.get("main").unwrap_or_else(|| panic!("{name}: no main"));
+        let def = module
+            .get("main")
+            .unwrap_or_else(|| panic!("{name}: no main"));
         let input = module
             .input
             .clone()
@@ -194,7 +217,9 @@ fn golden_examples_run_on_both_backends() {
         assert_eq!(evaled, want, "{name}: evaluator output");
 
         // Theorem 7.1 pipeline on both machines.
-        let pure = module.inlined("main").unwrap_or_else(|e| panic!("{name}: {e}"));
+        let pure = module
+            .inlined("main")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let compiled = compile_nsc(&pure, &def.dom).unwrap_or_else(|e| panic!("{name}: {e}"));
         let (seq_v, seq_c) = run_compiled_on(&compiled, &input, Backend::Seq)
             .unwrap_or_else(|e| panic!("{name}: seq: {e}"));
@@ -253,7 +278,10 @@ fn syntax_error_snapshots() {
             "(case x of inl(y) => 1)",
             "parse error at 1:23: expected `|` in case, found `)`",
         ),
-        ("(\\while. 1)", "parse error at 1:3: `while` is a reserved word and cannot name a lambda binder"),
+        (
+            "(\\while. 1)",
+            "parse error at 1:3: `while` is a reserved word and cannot name a lambda binder",
+        ),
     ];
     for (src, want) in cases {
         let got = parse_term(src).unwrap_err().to_string();

@@ -208,6 +208,7 @@ mod tests {
     #[test]
     fn par_chunks_mut_handles_empty_slice() {
         let mut v: Vec<u64> = Vec::new();
-        v.par_chunks_mut(8).for_each(|_| panic!("no chunks expected"));
+        v.par_chunks_mut(8)
+            .for_each(|_| panic!("no chunks expected"));
     }
 }
