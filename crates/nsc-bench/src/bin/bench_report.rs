@@ -5,7 +5,15 @@
 //! runtime on both backends at batch sizes {1, 8, 64}, measuring the
 //! sequential baseline (a loop of `B` single runs) against the pack and
 //! lanes disciplines, and writes the records as `BENCH_batch.json` at
-//! the repository root (see `nsc_runtime::bench` for the schema).
+//! the repository root (schema v2, which records the measuring host —
+//! see `nsc_runtime::bench`).
+//!
+//! Two consumers: the committed repo-root file is the **perf-trend
+//! baseline** (regenerate it with this binary when re-baselining with
+//! `[bench-reset]`), while CI's `perf-smoke` job writes a fresh report
+//! to a scratch path (`--out`) and hands both to `perf_trend`, which
+//! compares their speedup *ratios* — never raw `wall_ns`, which is
+//! machine-dependent.
 //!
 //! Exit status is the perf gate:
 //!

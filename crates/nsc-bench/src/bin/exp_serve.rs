@@ -1,0 +1,7 @@
+//! Runs EXP-SERVE: the closed-loop load generator against the adaptive
+//! micro-batching server (batches form, outputs bit-identical, mean
+//! latency beats the no-batching baseline).
+
+fn main() {
+    nsc_bench::exp_serve();
+}

@@ -1,0 +1,451 @@
+//! `perf_trend` — CI's perf-trend gate: compare a fresh `bench_report`
+//! run against the committed `BENCH_batch.json` baseline and fail on a
+//! real batching regression.
+//!
+//! The baseline's absolute `wall_ns` numbers are machine-dependent (the
+//! file records the measuring `host`), so the gate never compares raw
+//! nanoseconds.  It compares the dimensionless `speedup_vs_sequential`
+//! columns — each machine's batch modes against *that machine's own*
+//! sequential loop — per `(example, backend, batch, mode)` cell, gating
+//! the cells where batching is supposed to pay: `batch >= 8`, mode
+//! `pack` or `lanes`, **and** baseline speedup ≥ 1.0 (a cell where
+//! batching already lost on the baseline host is noise-dominated and is
+//! reported without being gated).  A gated cell regresses when its fresh
+//! speedup falls more than the threshold (default 25%) below the
+//! baseline speedup; a gated baseline cell missing from the fresh report
+//! regresses too (coverage must not silently shrink).
+//!
+//! Output is a markdown comparison table (written to stdout and, with
+//! `--summary <path>`, appended to that file — CI passes
+//! `$GITHUB_STEP_SUMMARY`).  Exit status 1 iff any cell regressed.
+//!
+//! Re-baselining: land an intentional slowdown by regenerating
+//! `BENCH_batch.json` in the same commit and putting `[bench-reset]` in
+//! the commit message — CI skips this gate for that push.
+//!
+//! ```text
+//! perf_trend --baseline BENCH_batch.json --fresh fresh.json \
+//!            [--threshold 0.25] [--summary out.md]
+//! ```
+
+use nsc_serve::json::{self, Json};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// One `(example, backend, batch, mode)` measurement cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    example: String,
+    backend: String,
+    batch: u64,
+    mode: String,
+}
+
+#[derive(Debug)]
+struct Report {
+    host: String,
+    /// Key -> speedup_vs_sequential.
+    speedups: BTreeMap<Key, f64>,
+}
+
+fn parse_report(src: &str, what: &str) -> Result<Report, String> {
+    let doc = json::parse(src).map_err(|e| format!("{what}: {e}"))?;
+    let host = doc
+        .get("host")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown (schema v1)")
+        .to_string();
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: no `records` array"))?;
+    let mut speedups = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let field = |name: &str| {
+            r.get(name)
+                .ok_or_else(|| format!("{what}: record {i} lacks `{name}`"))
+        };
+        let key = Key {
+            example: field("example")?
+                .as_str()
+                .ok_or_else(|| format!("{what}: record {i}: `example` not a string"))?
+                .to_string(),
+            backend: field("backend")?
+                .as_str()
+                .ok_or_else(|| format!("{what}: record {i}: `backend` not a string"))?
+                .to_string(),
+            batch: field("batch")?
+                .as_u64()
+                .ok_or_else(|| format!("{what}: record {i}: `batch` not an integer"))?,
+            mode: field("mode")?
+                .as_str()
+                .ok_or_else(|| format!("{what}: record {i}: `mode` not a string"))?
+                .to_string(),
+        };
+        let speedup = field("speedup_vs_sequential")?
+            .as_f64()
+            .ok_or_else(|| format!("{what}: record {i}: `speedup_vs_sequential` not a number"))?;
+        speedups.insert(key, speedup);
+    }
+    Ok(Report { host, speedups })
+}
+
+/// Is this cell one the trend gate judges?
+fn gated(key: &Key) -> bool {
+    key.batch >= 8 && (key.mode == "pack" || key.mode == "lanes")
+}
+
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok,
+    Regressed,
+    Missing,
+    New,
+    /// The baseline itself is below parity here (batching loses on this
+    /// cell even on the baseline host — e.g. pack on a lanes-favored
+    /// example).  Sub-parity speedups are noise-dominated, so the cell
+    /// is reported but never fails the gate.
+    BelowParity,
+}
+
+struct RowOut {
+    key: Key,
+    base: Option<f64>,
+    fresh: Option<f64>,
+    verdict: Verdict,
+}
+
+/// The gate: every gated baseline cell must reappear fresh with a
+/// speedup no more than `threshold` (fraction) below the baseline's.
+fn compare(baseline: &Report, fresh: &Report, threshold: f64) -> Vec<RowOut> {
+    let mut rows = Vec::new();
+    for (key, &base) in baseline.speedups.iter().filter(|(k, _)| gated(k)) {
+        let fresh_val = fresh.speedups.get(key).copied();
+        let verdict = if base < 1.0 {
+            Verdict::BelowParity
+        } else {
+            match fresh_val {
+                None => Verdict::Missing,
+                Some(f) if f < base * (1.0 - threshold) => Verdict::Regressed,
+                Some(_) => Verdict::Ok,
+            }
+        };
+        rows.push(RowOut {
+            key: key.clone(),
+            base: Some(base),
+            fresh: fresh_val,
+            verdict,
+        });
+    }
+    for (key, &f) in fresh.speedups.iter().filter(|(k, _)| gated(k)) {
+        if !baseline.speedups.contains_key(key) {
+            rows.push(RowOut {
+                key: key.clone(),
+                base: None,
+                fresh: Some(f),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    rows
+}
+
+fn markdown(baseline: &Report, fresh: &Report, rows: &[RowOut], threshold: f64) -> String {
+    let mut out = String::new();
+    out.push_str("## Perf trend: batching speedups vs committed baseline\n\n");
+    out.push_str(&format!(
+        "Baseline host: `{}` · fresh host: `{}` · gate: fresh speedup ≥ {:.0}% of \
+         baseline at B ≥ 8 (ratios only — `wall_ns` is machine-dependent)\n\n",
+        baseline.host,
+        fresh.host,
+        (1.0 - threshold) * 100.0
+    ));
+    out.push_str("| example | backend | B | mode | baseline | fresh | Δ | status |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.2}x"));
+        let delta = match (r.base, r.fresh) {
+            (Some(b), Some(f)) if b > 0.0 => format!("{:+.0}%", (f / b - 1.0) * 100.0),
+            _ => "—".to_string(),
+        };
+        let status = match r.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "**REGRESSED**",
+            Verdict::Missing => "**MISSING**",
+            Verdict::New => "new",
+            Verdict::BelowParity => "not gated (< 1x in baseline)",
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.key.example,
+            r.key.backend,
+            r.key.batch,
+            r.key.mode,
+            fmt(r.base),
+            fmt(r.fresh),
+            delta,
+            status
+        ));
+    }
+    let bad = rows
+        .iter()
+        .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
+        .count();
+    out.push_str(&format!(
+        "\n{} gated cells, {} regressed.{}\n",
+        rows.iter()
+            .filter(|r| !matches!(r.verdict, Verdict::New | Verdict::BelowParity))
+            .count(),
+        bad,
+        if bad > 0 {
+            " Intentional? Regenerate BENCH_batch.json and put `[bench-reset]` in the \
+             commit message."
+        } else {
+            ""
+        }
+    ));
+    out
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut summary_path: Option<String> = None;
+    let mut threshold = 0.25f64;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(val("--baseline")?),
+            "--fresh" => fresh_path = Some(val("--fresh")?),
+            "--summary" => summary_path = Some(val("--summary")?),
+            "--threshold" => {
+                threshold = val("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold expects a fraction like 0.25".to_string())?;
+                if !(0.0..1.0).contains(&threshold) {
+                    return Err("--threshold must be in [0, 1)".into());
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let baseline_path = baseline_path.ok_or("missing --baseline <path>")?;
+    let fresh_path = fresh_path.ok_or("missing --fresh <path>")?;
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading `{p}`: {e}"));
+    let baseline = parse_report(&read(&baseline_path)?, &baseline_path)?;
+    let fresh = parse_report(&read(&fresh_path)?, &fresh_path)?;
+    let rows = compare(&baseline, &fresh, threshold);
+    let table = markdown(&baseline, &fresh, &rows, threshold);
+    print!("{table}");
+    if let Some(path) = summary_path {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening `{path}`: {e}"))?;
+        f.write_all(table.as_bytes())
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    Ok(rows
+        .iter()
+        .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing)))
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("perf-trend gate FAILED: batching speedups regressed vs the baseline");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cells: &[(&str, &str, u64, &str, f64)]) -> Report {
+        Report {
+            host: "test".into(),
+            speedups: cells
+                .iter()
+                .map(|(e, b, n, m, s)| {
+                    (
+                        Key {
+                            example: e.to_string(),
+                            backend: b.to_string(),
+                            batch: *n,
+                            mode: m.to_string(),
+                        },
+                        *s,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn base() -> Report {
+        report(&[
+            ("sq", "seq", 1, "pack", 0.70),      // not gated: B < 8
+            ("sq", "seq", 8, "sequential", 1.0), // not gated: mode
+            ("sq", "seq", 8, "pack", 1.26),
+            ("sq", "seq", 64, "lanes", 2.10),
+            ("dot", "par", 64, "lanes", 1.31),
+            ("dot", "par", 64, "pack", 0.11), // reported, never gated: < 1x
+        ])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rows = compare(&base(), &base(), 0.25);
+        assert_eq!(rows.len(), 4, "three gated cells + one below parity");
+        assert_eq!(rows.iter().filter(|r| r.verdict == Verdict::Ok).count(), 3);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.verdict == Verdict::BelowParity)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn below_parity_cells_never_fail_even_when_halved() {
+        let mut slow = base();
+        *slow
+            .speedups
+            .get_mut(&Key {
+                example: "dot".into(),
+                backend: "par".into(),
+                batch: 64,
+                mode: "pack".into(),
+            })
+            .unwrap() = 0.02;
+        let rows = compare(&base(), &slow, 0.25);
+        assert!(!rows
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing)));
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        // A 2x wall slowdown in every batch mode halves each speedup —
+        // well past the 25% threshold.
+        let mut slow = base();
+        for (k, v) in slow.speedups.iter_mut() {
+            if gated(k) {
+                *v /= 2.0;
+            }
+        }
+        let rows = compare(&base(), &slow, 0.25);
+        let regressed: Vec<_> = rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regressed)
+            .collect();
+        assert_eq!(regressed.len(), 3, "every gated cell trips");
+        let table = markdown(&base(), &slow, &rows, 0.25);
+        assert!(table.contains("**REGRESSED**"));
+        assert!(table.contains("[bench-reset]"));
+    }
+
+    #[test]
+    fn small_wobble_passes_large_single_regression_fails() {
+        let mut fresh = base();
+        // -20% on one cell: inside the 25% budget.
+        *fresh
+            .speedups
+            .get_mut(&Key {
+                example: "sq".into(),
+                backend: "seq".into(),
+                batch: 8,
+                mode: "pack".into(),
+            })
+            .unwrap() = 1.26 * 0.80;
+        assert!(!compare(&base(), &fresh, 0.25)
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing)));
+        // -30% on one cell: regression, even with everything else fine.
+        *fresh
+            .speedups
+            .get_mut(&Key {
+                example: "dot".into(),
+                backend: "par".into(),
+                batch: 64,
+                mode: "lanes".into(),
+            })
+            .unwrap() = 1.31 * 0.70;
+        let rows = compare(&base(), &fresh, 0.25);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.verdict == Verdict::Regressed)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_gated_cells_fail_new_cells_inform() {
+        let fresh = report(&[
+            ("sq", "seq", 8, "pack", 1.30),
+            ("sq", "seq", 64, "lanes", 2.00),
+            // dot/par/64/lanes gone; a brand new example appears.
+            ("new_example", "seq", 8, "pack", 1.10),
+        ]);
+        let rows = compare(&base(), &fresh, 0.25);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.verdict == Verdict::Missing)
+                .count(),
+            1
+        );
+        assert_eq!(rows.iter().filter(|r| r.verdict == Verdict::New).count(), 1);
+        // Missing fails the gate; new alone would not.
+        assert!(rows
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing)));
+    }
+
+    #[test]
+    fn parses_real_bench_report_output() {
+        // The writer (nsc-runtime's hand-rolled escaper) and this gate's
+        // parser (nsc-serve's json) are separate implementations; lock
+        // their compatibility down on an adversarial host/example name.
+        std::env::set_var("HOSTNAME", "host \"x\"\\y");
+        let records = vec![nsc_runtime::BenchRecord {
+            example: "we\"ird\\name".into(),
+            backend: "seq".into(),
+            batch: 8,
+            mode: "pack".into(),
+            wall_ns: 1234,
+            t_prime: 5,
+            w_prime: 6,
+            speedup_vs_sequential: 1.5,
+        }];
+        let doc = nsc_runtime::json_report(&records);
+        let parsed = parse_report(&doc, "generated").unwrap();
+        assert_eq!(parsed.host, "host \"x\"\\y");
+        let (key, speedup) = parsed.speedups.iter().next().unwrap();
+        assert_eq!(key.example, "we\"ird\\name");
+        assert_eq!(*speedup, 1.5);
+    }
+
+    #[test]
+    fn parses_the_v2_schema_and_tolerates_v1() {
+        let v2 = r#"{"schema": "nsc-bench/batch-v2", "host": "box",
+                     "records": [{"example": "e", "backend": "seq", "batch": 8,
+                                  "mode": "pack", "wall_ns": 5, "t_prime": 1,
+                                  "w_prime": 2, "speedup_vs_sequential": 1.5}]}"#;
+        let r = parse_report(v2, "v2").unwrap();
+        assert_eq!(r.host, "box");
+        assert_eq!(r.speedups.len(), 1);
+        let v1 = r#"{"schema": "nsc-bench/batch-v1", "records": []}"#;
+        assert_eq!(parse_report(v1, "v1").unwrap().host, "unknown (schema v1)");
+        assert!(parse_report("{}", "empty").is_err());
+    }
+}

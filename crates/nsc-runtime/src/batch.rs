@@ -143,6 +143,18 @@ impl BatchRunner {
         self.backend
     }
 
+    /// The NSC domain type of the single-request program (rebuilt on
+    /// this runner's thread).  Serving layers admission-check each
+    /// submitted request against this before batching it.
+    pub fn dom(&self) -> &Type {
+        &self.dom
+    }
+
+    /// The NSC codomain type of the single-request program.
+    pub fn cod(&self) -> &Type {
+        &self.cod
+    }
+
     /// Runs one request on the single-request program (the baseline every
     /// batch mode is measured against and must agree with).
     pub fn run_single(&self, arg: &Value) -> Result<(Value, Cost), EvalError> {

@@ -9,7 +9,8 @@
 //! schema CI's `perf-smoke` job consumes:
 //!
 //! ```json
-//! {"schema": "nsc-bench/batch-v1",
+//! {"schema": "nsc-bench/batch-v2",
+//!  "host": "ci-runner-3",
 //!  "records": [{"example": "...", "backend": "seq", "batch": 8,
 //!               "mode": "pack", "wall_ns": 1234, "t_prime": 56,
 //!               "w_prime": 789, "speedup_vs_sequential": 1.87}, …]}
@@ -23,6 +24,14 @@
 //! regressions in either are visible.  `speedup_vs_sequential` is
 //! `wall(sequential at the same B) / wall(mode)` — the `"sequential"`
 //! rows carry `1.0` by construction.
+//!
+//! **`wall_ns` is machine-dependent** — the report is measured wherever
+//! it runs, and `BENCH_batch.json` is *committed* as the perf-trend
+//! baseline.  Schema v2 therefore records the measuring [`host`], and
+//! the CI trend gate (`perf_trend` in `nsc-bench`) compares the
+//! dimensionless `speedup_vs_sequential` columns, never raw nanoseconds,
+//! so a baseline from one machine and a fresh run from another can be
+//! compared meaningfully.
 
 use crate::batch::{BatchMode, BatchRunner};
 use nsc_core::cost::Cost;
@@ -85,9 +94,30 @@ impl BenchRecord {
     }
 }
 
-/// The full `BENCH_batch.json` document.
+/// Best-effort name of the measuring machine, recorded in the report so
+/// a committed baseline says where its absolute `wall_ns` numbers came
+/// from (`$HOSTNAME`, then `/etc/hostname`, then `"unknown"`).
+pub fn host() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    if let Ok(h) = std::fs::read_to_string("/etc/hostname") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    "unknown".to_string()
+}
+
+/// The full `BENCH_batch.json` document (schema v2: carries the
+/// measuring [`host`]).
 pub fn json_report(records: &[BenchRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"nsc-bench/batch-v1\",\n  \"records\": [\n");
+    let mut out = format!(
+        "{{\n  \"schema\": \"nsc-bench/batch-v2\",\n  \"host\": {},\n  \"records\": [\n",
+        json_str(&host())
+    );
     for (i, r) in records.iter().enumerate() {
         out.push_str("    ");
         out.push_str(&r.to_json());
@@ -195,7 +225,8 @@ mod tests {
         let recs = measure_batches("unit", &runner, &Value::nat_seq(0..8), &[1, 4], 2);
         assert_eq!(recs.len(), 6); // 2 sizes x {sequential, pack, lanes}
         let doc = json_report(&recs);
-        assert!(doc.contains("\"schema\": \"nsc-bench/batch-v1\""));
+        assert!(doc.contains("\"schema\": \"nsc-bench/batch-v2\""));
+        assert!(doc.contains("\"host\": \""));
         assert!(doc.contains("\"mode\": \"pack\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         // Sequential rows are the 1.0 baseline.

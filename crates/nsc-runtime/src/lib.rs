@@ -33,5 +33,5 @@ pub mod repr;
 pub mod workloads;
 
 pub use batch::{BatchMode, BatchOutcome, BatchRunner, PACK_WORK_CUTOFF};
-pub use bench::{json_report, measure_batches, BenchRecord};
+pub use bench::{host, json_report, measure_batches, BenchRecord};
 pub use cache::{CacheKey, CachedProgram, CompileHook, CompiledCache, KERNEL_OPT_BUDGET};

@@ -1,0 +1,408 @@
+//! Front ends: newline-delimited JSON over TCP and over a pipe.
+//!
+//! Both fronts share one request path ([`handle_line`]) and one
+//! guarantee: **responses are written in request order per connection**.
+//! A connection may hit several shards (different functions/backends)
+//! whose batches complete out of order, so each connection runs a writer
+//! with a reorder buffer keyed by the connection-local request sequence
+//! number — shard-level FIFO plus connection-level reordering gives
+//! pipelined clients a deterministic stream.
+//!
+//! Shutdown is graceful everywhere: the pipe front drains the server at
+//! EOF, the TCP front drains after a `{"cmd": "shutdown"}` request stops
+//! the accept loop and every open connection finishes — queued requests
+//! are always answered before the process exits.
+
+use crate::protocol::{self, Request};
+use crate::server::Server;
+use crate::Reply;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a handled line asked the front end to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Keep reading.
+    Continue,
+    /// The client requested a server shutdown.
+    Shutdown,
+}
+
+/// Handles one request line: the response (eventually) arrives on `out`
+/// tagged with `seq`, the connection-local request number used by the
+/// ordered writer.  Synchronous rejections (bad JSON, unknown function,
+/// backpressure) are answered immediately through the same channel.
+pub fn handle_line(
+    server: &Arc<Server>,
+    line: &str,
+    seq: u64,
+    out: &Sender<(u64, String)>,
+) -> LineOutcome {
+    match protocol::parse_request(line) {
+        Err(e) => {
+            let _ = out.send((seq, protocol::render_error(None, &e)));
+            LineOutcome::Continue
+        }
+        Ok(Request::Metrics) => {
+            let _ = out.send((seq, protocol::render_snapshots(&server.snapshots())));
+            LineOutcome::Continue
+        }
+        Ok(Request::Shutdown) => {
+            let _ = out.send((seq, protocol::render_draining()));
+            LineOutcome::Shutdown
+        }
+        Ok(Request::Call {
+            fn_name,
+            input,
+            backend,
+            id,
+        }) => {
+            let reply_out = out.clone();
+            let reply_id = id.clone();
+            let submitted = server.submit(
+                &fn_name,
+                backend,
+                input,
+                Box::new(move |r: Reply| {
+                    let line = match &r.result {
+                        Ok(v) => protocol::render_output(reply_id.as_ref(), v),
+                        Err(e) => protocol::render_error(reply_id.as_ref(), e),
+                    };
+                    let _ = reply_out.send((seq, line));
+                }),
+            );
+            if let Err(e) = submitted {
+                let _ = out.send((seq, protocol::render_error(id.as_ref(), &e)));
+            }
+            LineOutcome::Continue
+        }
+    }
+}
+
+/// Writes `(seq, line)` pairs in strictly increasing `seq` order,
+/// buffering lines that arrive early.  Runs until every sender is gone,
+/// then flushes; returns the writer on exit.
+fn ordered_writer<W: Write>(rx: Receiver<(u64, String)>, mut w: W) -> std::io::Result<W> {
+    let mut next: u64 = 0;
+    let mut pending: HashMap<u64, String> = HashMap::new();
+    while let Ok((seq, line)) = rx.recv() {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+            next += 1;
+        }
+        if pending.is_empty() {
+            w.flush()?;
+        }
+    }
+    w.flush()?;
+    Ok(w)
+}
+
+/// The pipe front end: reads request lines from `reader`, writes ordered
+/// response lines to `writer`, and on EOF (or a read error) drains the
+/// server — every *admitted* request is answered before this returns.
+/// Blank lines are ignored.  The error, if any, is reported after the
+/// drain, never instead of it.
+pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    reader: R,
+    writer: W,
+) -> std::io::Result<()> {
+    let (tx, rx) = channel::<(u64, String)>();
+    let writer = std::thread::Builder::new()
+        .name("nsc-serve/writer".into())
+        .spawn(move || ordered_writer(rx, writer))
+        .expect("spawn writer thread");
+    let mut seq: u64 = 0;
+    let mut read_err = None;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            // Stop reading, but still drain and flush what was admitted.
+            Err(e) => {
+                read_err = Some(e);
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = handle_line(server, &line, seq, &tx);
+        seq += 1;
+        if outcome == LineOutcome::Shutdown {
+            break;
+        }
+    }
+    server.drain();
+    // Shards are joined, so every reply closure has run (or been
+    // dropped); dropping our sender lets the writer finish and exit.
+    drop(tx);
+    let write_result = writer.join().expect("writer thread panicked").map(|_| ());
+    match read_err {
+        Some(e) => Err(e),
+        None => write_result,
+    }
+}
+
+/// The TCP front end: accepts connections on `listener` and serves each
+/// on its own thread until some client sends `{"cmd": "shutdown"}`; then
+/// stops accepting, waits for open connections to finish, drains the
+/// server, and returns.
+///
+/// The listener is polled (non-blocking accept + sleep) so the shutdown
+/// flag is honored promptly; connection handling itself is plain
+/// blocking I/O.
+pub fn serve_tcp(server: &Arc<Server>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut errors: u32 = 0;
+    let mut fatal: Option<std::io::Error> = None;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                errors = 0;
+                let server = Arc::clone(server);
+                let shutdown = Arc::clone(&shutdown);
+                let active = Arc::clone(&active);
+                active.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name("nsc-serve/conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(&server, stream, &shutdown);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                errors = 0;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept failures (ECONNABORTED, EMFILE under
+            // load, …) must not kill the server: back off and retry.
+            // Only a *persistent* failure (~1s of nothing but errors)
+            // stops the accept loop — and even then the server drains,
+            // so already-admitted requests are still answered.
+            Err(e) => {
+                errors += 1;
+                if errors >= 200 {
+                    fatal = Some(e);
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Let in-flight connections finish before draining the shards, so
+    // their queued requests are answered through open sockets.
+    while active.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.drain();
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Serves one TCP connection; returns when the client closes, errors,
+/// requests shutdown (which also flips the accept loop's flag), or
+/// another connection's shutdown request flips the flag — reads run
+/// under a short timeout so an *idle* connection notices the flag
+/// promptly instead of pinning the accept loop's drain forever.
+fn serve_connection(
+    server: &Arc<Server>,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    use std::io::Read;
+
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = channel::<(u64, String)>();
+    let writer = std::thread::Builder::new()
+        .name("nsc-serve/conn-writer".into())
+        .spawn(move || ordered_writer(rx, write_half))
+        .expect("spawn connection writer");
+    // Lines are split by hand off timed reads: `BufRead::read_line`'s
+    // buffer contents are unspecified after an error, and a read timeout
+    // is a routine event here, not an error.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut seq: u64 = 0;
+    'conn: while !shutdown.load(Ordering::SeqCst) {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a final request without a trailing newline is
+                // still a request — answer it like the pipe front does
+                // (including honoring a trailing shutdown command).
+                if !buf.is_empty() {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    buf.clear();
+                    if !line.trim().is_empty()
+                        && handle_line(server, &line, seq, &tx) == LineOutcome::Shutdown
+                    {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                }
+                break;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle: re-check the shutdown flag
+            }
+            Err(_) => break, // client went away mid-line
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let outcome = handle_line(server, &line, seq, &tx);
+            seq += 1;
+            if outcome == LineOutcome::Shutdown {
+                shutdown.store(true, Ordering::SeqCst);
+                break 'conn;
+            }
+        }
+    }
+    drop(tx);
+    // Wait for every in-flight reply on this connection to be written —
+    // this is what makes shutdown graceful per connection.  The shards
+    // still hold reply senders for queued requests; the writer exits
+    // when the last one is used or dropped.
+    let _ = writer.join().expect("connection writer panicked");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use nsc_core::ast as a;
+    use nsc_core::types::Type;
+
+    fn test_server() -> Arc<Server> {
+        let mut s = Server::new(ServeConfig {
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        let sq = a::map(a::lam(
+            "x",
+            a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+        ));
+        let double = a::map(a::lam("x", a::add(a::var("x"), a::var("x"))));
+        s.register("sq1", &sq, &Type::seq(Type::Nat));
+        s.register("double", &double, &Type::seq(Type::Nat));
+        Arc::new(s)
+    }
+
+    #[test]
+    fn serve_lines_answers_in_request_order_across_shards() {
+        let server = test_server();
+        let input = "\
+{\"fn\": \"sq1\", \"input\": \"[1, 2]\", \"id\": 0}\n\
+{\"fn\": \"double\", \"input\": \"[1, 2]\", \"id\": 1}\n\
+\n\
+{\"fn\": \"sq1\", \"input\": \"[3]\", \"id\": 2}\n\
+{\"fn\": \"missing\", \"input\": \"[]\", \"id\": 3}\n\
+not json at all\n";
+        let out = shared_buffer();
+        serve_lines(&server, input.as_bytes(), out.clone()).unwrap();
+        let text = out.take();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "{text}");
+        assert_eq!(lines[0], r#"{"id": 0, "output": "[2, 5]"}"#);
+        assert_eq!(lines[1], r#"{"id": 1, "output": "[2, 4]"}"#);
+        assert_eq!(lines[2], r#"{"id": 2, "output": "[10]"}"#);
+        assert!(
+            lines[3].contains("\"kind\": \"unknown-fn\""),
+            "{}",
+            lines[3]
+        );
+        assert!(
+            lines[4].contains("\"kind\": \"bad-request\""),
+            "{}",
+            lines[4]
+        );
+    }
+
+    #[test]
+    fn serve_lines_metrics_and_shutdown() {
+        let server = test_server();
+        let input = "\
+{\"fn\": \"sq1\", \"input\": \"[2]\"}\n\
+{\"cmd\": \"metrics\"}\n\
+{\"cmd\": \"shutdown\"}\n\
+{\"fn\": \"sq1\", \"input\": \"[9]\"}\n";
+        let out = shared_buffer();
+        serve_lines(&server, input.as_bytes(), out.clone()).unwrap();
+        let text = out.take();
+        let lines: Vec<&str> = text.lines().collect();
+        // The post-shutdown request line is never read.
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(lines[0], r#"{"output": "[5]"}"#);
+        assert!(lines[1].contains("\"snapshots\": ["), "{}", lines[1]);
+        assert_eq!(lines[2], r#"{"ok": "draining"}"#);
+        // serve_lines drained the server.
+        assert_eq!(
+            server
+                .submit("sq1", None, "[1]".into(), Box::new(|_| {}))
+                .unwrap_err()
+                .kind(),
+            "shutdown"
+        );
+    }
+
+    #[test]
+    fn ordered_writer_reorders_early_arrivals() {
+        let (tx, rx) = channel();
+        for seq in [2u64, 0, 1] {
+            tx.send((seq, format!("line{seq}"))).unwrap();
+        }
+        drop(tx);
+        let out = ordered_writer(rx, Vec::new()).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "line0\nline1\nline2\n");
+    }
+
+    // A Write handle tests can keep after serve_lines takes ownership.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    fn shared_buffer() -> SharedBuf {
+        SharedBuf(Arc::new(std::sync::Mutex::new(Vec::new())))
+    }
+
+    impl SharedBuf {
+        fn take(&self) -> String {
+            String::from_utf8(std::mem::take(&mut self.0.lock().unwrap())).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

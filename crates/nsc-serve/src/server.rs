@@ -1,0 +1,331 @@
+//! The server: function registry, shard directory, admission, drain.
+
+use crate::shard::{ReplyFn, Shard};
+use crate::{ServeError, Snapshot};
+use nsc_compile::{Backend, OptLevel};
+use nsc_core::parse::Module;
+use nsc_core::types::Type;
+use nsc_core::Func;
+use nsc_runtime::CompiledCache;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Hook invoked with the batch size each time a shard flushes a batch
+/// (before it executes).  Observability and test instrumentation — the
+/// same role [`nsc_runtime::CompileHook`] plays for the cache.
+pub type FlushHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Server tuning knobs (see the crate docs for the flush policy).
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Flush a batch at this many requests (size threshold).  `1`
+    /// disables batching.
+    pub max_batch: usize,
+    /// Flush when this much time has passed since the oldest queued
+    /// request (age threshold): the batching latency ceiling.
+    pub max_wait: Duration,
+    /// Admission queue capacity per shard; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Optimization level shards compile at.
+    pub opt: OptLevel,
+    /// Default backend (requests may override per call).
+    pub backend: Backend,
+    /// Flush observer, if any.
+    pub on_flush: Option<FlushHook>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 1024,
+            opt: OptLevel::O1,
+            backend: Backend::Seq,
+            on_flush: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("max_batch", &self.max_batch)
+            .field("max_wait", &self.max_wait)
+            .field("queue_cap", &self.queue_cap)
+            .field("opt", &self.opt)
+            .field("backend", &self.backend)
+            .field("on_flush", &self.on_flush.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// A registered function: pretty-printed sources, because ASTs are
+/// `Rc`-based and the shard re-parses on its own thread (faithful by the
+/// `parse(pretty(f)) == f` round-trip property).
+#[derive(Debug, Clone)]
+struct FnSpec {
+    fn_source: String,
+    dom_source: String,
+}
+
+/// The micro-batching request server.
+///
+/// Register functions while you hold it exclusively, then share it
+/// (`Arc`) with any number of submitting threads.  Shards spin up
+/// lazily, on the first request per `(function, backend)`.
+pub struct Server {
+    cfg: ServeConfig,
+    cache: Arc<CompiledCache>,
+    fns: HashMap<String, FnSpec>,
+    shards: Mutex<HashMap<(String, Backend), Arc<Shard>>>,
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("functions", &self.fns.len())
+            .field("shards", &self.shards.lock().unwrap().len())
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Server {
+    /// An empty server (compiled programs cached in a fresh
+    /// [`CompiledCache`]).
+    pub fn new(cfg: ServeConfig) -> Server {
+        Server::with_cache(cfg, Arc::new(CompiledCache::new()))
+    }
+
+    /// An empty server sharing an existing compiled-program cache (lets
+    /// a caller pre-warm compilations, or share one cache between a
+    /// server and direct [`nsc_runtime::BatchRunner`] use).
+    pub fn with_cache(cfg: ServeConfig, cache: Arc<CompiledCache>) -> Server {
+        Server {
+            cfg,
+            cache,
+            fns: HashMap::new(),
+            shards: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers `f : dom -> …` under `name`, replacing any previous
+    /// registration of that name (existing shards keep serving the old
+    /// definition; new shards see the new one — register before serving).
+    pub fn register(&mut self, name: &str, f: &Func, dom: &Type) {
+        self.fns.insert(
+            name.to_string(),
+            FnSpec {
+                fn_source: f.to_string(),
+                dom_source: dom.to_string(),
+            },
+        );
+    }
+
+    /// Registers every definition of a parsed `.nsc` module that can be
+    /// inlined to a pure function (the compiler's precondition).
+    /// Returns the definitions that were *skipped*, with the reason —
+    /// e.g. recursive definitions, which evaluate but do not compile.
+    pub fn register_module(&mut self, module: &Module) -> Vec<(String, String)> {
+        let mut skipped = Vec::new();
+        for def in &module.defs {
+            match module.inlined(&def.name) {
+                Ok(pure) => self.register(&def.name, &pure, &def.dom),
+                Err(e) => skipped.push((def.name.to_string(), e.to_string())),
+            }
+        }
+        skipped
+    }
+
+    /// The registered function names, sorted.
+    pub fn functions(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.fns.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The shared compiled-program cache.
+    pub fn cache(&self) -> &Arc<CompiledCache> {
+        &self.cache
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Submits one request: `input` is NSC value literal text for
+    /// registered function `fn_name`, `backend` overrides the default
+    /// shard backend, and `reply` is invoked exactly once from the shard
+    /// when the request is answered.
+    ///
+    /// Returns the shard-local admission sequence number.  Errors are
+    /// *synchronous* rejections (unknown function, full queue, draining
+    /// server) — `reply` is dropped uncalled and the caller reports the
+    /// error itself.
+    pub fn submit(
+        &self,
+        fn_name: &str,
+        backend: Option<Backend>,
+        input: String,
+        reply: ReplyFn,
+    ) -> Result<u64, ServeError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let spec = self
+            .fns
+            .get(fn_name)
+            .ok_or_else(|| ServeError::UnknownFunction(fn_name.to_string()))?;
+        let backend = backend.unwrap_or(self.cfg.backend);
+        let shard = {
+            let mut shards = self.shards.lock().unwrap();
+            // Re-check under the directory lock: `drain` flips the flag
+            // while holding it, so either this submit sees the flag, or
+            // the shard it creates is visible to drain's collection — a
+            // shard can never be spawned behind a completed drain.
+            if self.draining.load(Ordering::SeqCst) {
+                return Err(ServeError::ShuttingDown);
+            }
+            let key = (fn_name.to_string(), backend);
+            Arc::clone(shards.entry(key).or_insert_with(|| {
+                let mut cfg = self.cfg.clone();
+                cfg.backend = backend;
+                Arc::new(Shard::spawn(
+                    fn_name,
+                    spec.fn_source.clone(),
+                    spec.dom_source.clone(),
+                    &cfg,
+                    Arc::clone(&self.cache),
+                ))
+            }))
+        };
+        shard.submit(input, reply)
+    }
+
+    /// Point-in-time metrics for every live shard, sorted by
+    /// `(function, backend)` for stable output.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        let shards = self.shards.lock().unwrap();
+        let mut keys: Vec<&(String, Backend)> = shards.keys().collect();
+        keys.sort_by_key(|(name, b)| (name.clone(), b.name()));
+        keys.iter().map(|k| shards[*k].snapshot()).collect()
+    }
+
+    /// Graceful drain: stop admitting, let every shard answer its queued
+    /// requests, and join the batcher threads.  Idempotent; subsequent
+    /// [`Server::submit`]s return [`ServeError::ShuttingDown`].
+    pub fn drain(&self) {
+        // Flag and collect under the directory lock (a racing submit
+        // either observes the flag or has already inserted its shard),
+        // but join outside it so `snapshots()` is not blocked meanwhile.
+        let shards: Vec<Arc<Shard>> = {
+            let shards = self.shards.lock().unwrap();
+            self.draining.store(true, Ordering::SeqCst);
+            shards.values().cloned().collect()
+        };
+        for shard in shards {
+            shard.drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::ast as a;
+    use std::sync::mpsc;
+
+    fn square_server(cfg: ServeConfig) -> Server {
+        let mut s = Server::new(cfg);
+        let f = a::map(a::lam(
+            "x",
+            a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+        ));
+        s.register("sq1", &f, &Type::seq(Type::Nat));
+        s
+    }
+
+    fn collect_submit(
+        server: &Server,
+        fn_name: &str,
+        input: &str,
+    ) -> Result<Result<String, ServeError>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        server.submit(
+            fn_name,
+            None,
+            input.into(),
+            Box::new(move |r: crate::Reply| {
+                let _ = tx.send(r.result);
+            }),
+        )?;
+        Ok(rx.recv().expect("reply delivered"))
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = square_server(ServeConfig {
+            max_wait: Duration::from_millis(0),
+            ..ServeConfig::default()
+        });
+        let out = collect_submit(&server, "sq1", "[0, 1, 2, 3]").unwrap();
+        assert_eq!(out.unwrap(), "[1, 2, 5, 10]");
+        server.drain();
+        // Shards answered everything before the join returned.
+        let snaps = server.snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].completed, 1);
+        assert_eq!(snaps[0].queue_depth, 0);
+    }
+
+    #[test]
+    fn classifies_request_level_errors() {
+        let server = square_server(ServeConfig {
+            max_wait: Duration::from_millis(0),
+            ..ServeConfig::default()
+        });
+        let cases = [
+            ("sq1", "[1, }", "parse"),
+            ("sq1", "(1, 2)", "domain"),
+            ("nope", "[1]", "unknown-fn"),
+        ];
+        for (fn_name, input, kind) in cases {
+            let got = match collect_submit(&server, fn_name, input) {
+                Err(e) => e,
+                Ok(r) => r.unwrap_err(),
+            };
+            assert_eq!(got.kind(), kind, "{fn_name} {input}");
+        }
+        server.drain();
+    }
+
+    #[test]
+    fn draining_rejects_new_requests_and_is_idempotent() {
+        let server = square_server(ServeConfig::default());
+        server.drain();
+        server.drain();
+        let e = collect_submit(&server, "sq1", "[1]").unwrap_err();
+        assert_eq!(e.kind(), "shutdown");
+    }
+
+    #[test]
+    fn register_module_skips_what_it_cannot_compile() {
+        let src = "\
+fn main : [N] -> [N] = map((\\x. (x + 1)))
+input [1, 2]
+";
+        let module = nsc_core::parse::parse_module(src).unwrap();
+        module.check().unwrap();
+        let mut server = Server::new(ServeConfig::default());
+        let skipped = server.register_module(&module);
+        assert!(skipped.is_empty());
+        assert_eq!(server.functions(), vec!["main".to_string()]);
+    }
+}

@@ -1,0 +1,326 @@
+//! One `(function, backend)` shard: a bounded admission queue and its
+//! batcher thread.
+//!
+//! ### Admission
+//!
+//! [`Shard::submit`] assigns the request a per-shard sequence number and
+//! `try_send`s it into a *bounded* `sync_channel`.  A full queue rejects
+//! with [`ServeError::Overloaded`] — backpressure instead of unbounded
+//! memory growth.  Sequence numbers are assigned under the same lock that
+//! enqueues, so **queue order equals sequence order**, and because the
+//! batcher executes batches serially and replies in batch order, replies
+//! within a shard are always delivered in admission order (property:
+//! `tests/serve_props.rs`).
+//!
+//! ### The dual-threshold flush policy
+//!
+//! The batcher blocks for the first request, then keeps gathering until
+//! *either*
+//!
+//! * the batch holds `max_batch` requests (size threshold — a full batch
+//!   gains nothing by waiting), *or*
+//! * `max_wait` has elapsed **since the oldest gathered request was
+//!   enqueued** (age threshold — the latency an idle period can add to a
+//!   request is bounded by `max_wait`, even while a trickle of later
+//!   arrivals keeps the batch growing),
+//!
+//! whichever comes first.  A backlog that accumulated while the previous
+//! batch executed is drained greedily before the timed gather, so a
+//! saturated shard flushes full batches rather than degenerating to one
+//! request per flush.  The flushed batch executes on
+//! [`BatchRunner::run_batch`], whose cost model picks pack or lanes per
+//! batch.  `max_wait = 0` disables *waiting* (backlog still batches);
+//! only `max_batch = 1` disables batching itself, which is the baseline
+//! `exp_serve` measures against.
+//!
+//! ### Lifecycle
+//!
+//! The batcher thread parses the shard's function source and compiles it
+//! through the shared [`CompiledCache`] when it starts (requests arriving
+//! meanwhile queue up behind the compilation; a failed compilation is
+//! answered — and negatively cached — per request).  Dropping the sender
+//! side ([`Shard::drain`]) lets the batcher drain every queued request,
+//! flush, and exit; `drain` joins it.
+
+use crate::metrics::Metrics;
+use crate::{ServeConfig, ServeError};
+use nsc_core::parse::{parse_func, parse_type, parse_value};
+use nsc_runtime::repr::ErrorRepr;
+use nsc_runtime::{BatchRunner, CompiledCache};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a request's reply callback receives.
+#[derive(Debug)]
+pub struct Reply {
+    /// The shard-local admission sequence number [`Shard::submit`]
+    /// returned for this request.
+    pub seq: u64,
+    /// Pretty-printed output value, or the classified error.
+    pub result: Result<String, ServeError>,
+    /// Admission-to-reply latency.
+    pub latency: Duration,
+}
+
+/// The reply callback a request carries through the queue.
+pub type ReplyFn = Box<dyn FnOnce(Reply) + Send>;
+
+struct Job {
+    seq: u64,
+    input: String,
+    enqueued: Instant,
+    reply: ReplyFn,
+}
+
+/// A running shard handle (shared by the server and its front ends).
+pub struct Shard {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    seq: AtomicU64,
+    metrics: Arc<Metrics>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    function: String,
+    backend_name: &'static str,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("function", &self.function)
+            .field("backend", &self.backend_name)
+            .field("submitted", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Stack for batcher threads: compilation recurses with program depth
+/// (same sizing rationale as the `nsc` CLI driver thread).
+const BATCHER_STACK: usize = 256 * 1024 * 1024;
+
+impl Shard {
+    /// Spawns the batcher thread for `function_name`, whose definition
+    /// travels as pretty-printed source (`fn_source`, with its domain as
+    /// `dom_source`) because ASTs are not `Send`; the batcher re-parses
+    /// and compiles through `cache` on its own stack.
+    pub fn spawn(
+        function_name: &str,
+        fn_source: String,
+        dom_source: String,
+        cfg: &ServeConfig,
+        cache: Arc<CompiledCache>,
+    ) -> Shard {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_cap.max(1));
+        let metrics = Arc::new(Metrics::default());
+        let thread_cfg = cfg.clone();
+        let thread_metrics = Arc::clone(&metrics);
+        let handle = std::thread::Builder::new()
+            .name(format!("nsc-serve/{function_name}:{}", cfg.backend.name()))
+            .stack_size(BATCHER_STACK)
+            .spawn(move || batcher(rx, fn_source, dom_source, thread_cfg, cache, thread_metrics))
+            .expect("spawn batcher thread");
+        Shard {
+            tx: Mutex::new(Some(tx)),
+            seq: AtomicU64::new(0),
+            metrics,
+            handle: Mutex::new(Some(handle)),
+            function: function_name.to_string(),
+            backend_name: cfg.backend.name(),
+        }
+    }
+
+    /// Admits one request, returning its shard-local sequence number, or
+    /// rejects it ([`ServeError::Overloaded`] on a full queue,
+    /// [`ServeError::ShuttingDown`] after [`Shard::drain`]).  On
+    /// rejection `reply` is dropped unchanged — the caller reports the
+    /// error itself.
+    pub fn submit(&self, input: String, reply: ReplyFn) -> Result<u64, ServeError> {
+        // Sequence assignment and enqueue happen under one lock so queue
+        // order is sequence order (the no-reorder contract's anchor).
+        let guard = self.tx.lock().unwrap();
+        let Some(tx) = guard.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            seq,
+            input,
+            enqueued: Instant::now(),
+            reply,
+        };
+        // Admit in the metrics *before* the send: once the job is in the
+        // channel the batcher may reply (decrementing the depth gauge)
+        // at any moment, so the increment must already be visible.
+        self.metrics.on_admit();
+        match tx.try_send(job) {
+            Ok(()) => Ok(seq),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.on_reject();
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.on_retract();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Point-in-time metrics.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        self.metrics.snapshot(&self.function, self.backend_name)
+    }
+
+    /// Closes admission, lets the batcher drain every queued request,
+    /// and joins it.  Idempotent.
+    pub fn drain(&self) {
+        drop(self.tx.lock().unwrap().take());
+        let handle = self.handle.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+fn batcher(
+    rx: Receiver<Job>,
+    fn_source: String,
+    dom_source: String,
+    cfg: ServeConfig,
+    cache: Arc<CompiledCache>,
+    metrics: Arc<Metrics>,
+) {
+    let runner = (|| -> Result<BatchRunner, ServeError> {
+        let f = parse_func(&fn_source)
+            .map_err(|e| ServeError::Compile(format!("re-parsing registered function: {e}")))?;
+        let dom = parse_type(&dom_source)
+            .map_err(|e| ServeError::Compile(format!("re-parsing registered domain: {e}")))?;
+        BatchRunner::from_cache(&cache, &f, &dom, cfg.opt, cfg.backend)
+            .map_err(|e| ServeError::Compile(e.to_string()))
+    })();
+    let runner = match runner {
+        Ok(r) => r,
+        Err(e) => {
+            // The compilation failure is this shard's permanent answer.
+            while let Ok(job) = rx.recv() {
+                finish(job, Err(e.clone()), &metrics);
+            }
+            return;
+        }
+    };
+
+    loop {
+        // Block for the oldest request of the next batch; `Err` means
+        // admission is closed and the queue is fully drained.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut batch = vec![first];
+        let max_batch = cfg.max_batch.max(1);
+        // A backlog that built up while the previous batch executed is
+        // already past any age threshold — drain it greedily first, so a
+        // saturated shard flushes full batches instead of degenerating to
+        // one request per flush.
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        // Gather under the dual threshold: flush at `max_batch` requests
+        // or `max_wait` past the *oldest* request's enqueue, first wins.
+        let deadline = batch[0].enqueued + cfg.max_wait;
+        let mut disconnected = false;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        execute(batch, &runner, &cfg, &metrics);
+        if disconnected {
+            // Admission closed and the channel is empty: drained.
+            return;
+        }
+    }
+}
+
+/// Runs one flushed batch and replies to every request, in batch order.
+fn execute(batch: Vec<Job>, runner: &BatchRunner, cfg: &ServeConfig, metrics: &Arc<Metrics>) {
+    if let Some(hook) = &cfg.on_flush {
+        hook(batch.len());
+    }
+    let dom = runner.dom();
+    // Parse and domain-check on this thread (values are not Send);
+    // malformed requests are answered without touching the machine.
+    let prepared: Vec<Result<nsc_core::value::Value, ServeError>> = batch
+        .iter()
+        .map(|job| match parse_value(&job.input) {
+            Err(e) => Err(ServeError::InvalidInput(e.to_string())),
+            Ok(v) => {
+                if dom.admits(&v) {
+                    Ok(v)
+                } else {
+                    Err(ServeError::Domain {
+                        value: job.input.clone(),
+                        dom: dom.to_string(),
+                    })
+                }
+            }
+        })
+        .collect();
+    let valid: Vec<nsc_core::value::Value> = prepared
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    // A single valid request runs the single-request program directly —
+    // the pack kernel and the lanes pool only pay off from 2 requests up,
+    // and `max_batch = 1` (no batching) must mean genuine single-run
+    // latency, not "a batch of one".
+    let (results, mode, fused) = match valid.len() {
+        0 => (Vec::new(), None, false),
+        1 => (
+            vec![runner.run_single(&valid[0]).map(|(v, _)| v)],
+            None,
+            false,
+        ),
+        _ => {
+            let o = runner.run_batch(&valid);
+            (o.results, Some(o.mode), o.fused)
+        }
+    };
+    metrics.on_batch(batch.len(), mode, fused);
+    let mut results = results.into_iter();
+    for (job, prep) in batch.into_iter().zip(prepared) {
+        let result = match prep {
+            Err(e) => Err(e),
+            Ok(_) => match results.next().expect("one result per valid request") {
+                Ok(v) => Ok(v.to_string()),
+                Err(e) => Err(ServeError::Eval(ErrorRepr::of(&e))),
+            },
+        };
+        finish(job, result, metrics);
+    }
+}
+
+fn finish(job: Job, result: Result<String, ServeError>, metrics: &Arc<Metrics>) {
+    let latency = job.enqueued.elapsed();
+    metrics.on_reply(
+        latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+        result.is_err(),
+    );
+    (job.reply)(Reply {
+        seq: job.seq,
+        result,
+        latency,
+    });
+}

@@ -11,20 +11,27 @@
 //! nsc run     file.nsc [options]       evaluate + compile + run, cost table
 //! nsc compile file.nsc [options]       print the compiled BVRAM program
 //! nsc bench   file.nsc [options]       wall-clock the batch runtime
+//! nsc serve   file.nsc [options]       micro-batching request server
 //! ```
 //!
 //! `nsc run --batch N` additionally serves the input `N` times through
 //! the batched runtime (`nsc::runtime`), cross-checking every batched
 //! result against the single-run answer; `nsc bench` measures the
 //! sequential / pack / lanes disciplines and can write the machine-
-//! readable `BENCH_batch.json` records with `--json`.
+//! readable `BENCH_batch.json` records with `--json`; `nsc serve` exposes
+//! the module's functions over newline-delimited JSON (TCP via `--addr`,
+//! or a pipe via `--stdin`) through the adaptive micro-batching server in
+//! `nsc::serve` — see the README's "Serving" section for the protocol.
 
 use nsc::compile::{compile_nsc_with, run_compiled_on, Backend, OptLevel};
 use nsc::core::eval::Evaluator;
 use nsc::core::parse::{parse_module, parse_value, Module};
 use nsc::core::{Cost, EvalError};
 use nsc::runtime::{measure_batches, BatchRunner, CompiledCache};
+use nsc::serve::{front, ServeConfig, Server};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 nsc — surface-language driver for the Suciu & Tannen compilation pipeline
@@ -35,6 +42,9 @@ USAGE:
     nsc compile <file.nsc> [OPTIONS]   print the compiled BVRAM program
     nsc bench   <file.nsc> [OPTIONS]   wall-clock batched execution (the
                                        sequential baseline vs pack vs lanes)
+    nsc serve   <file.nsc> [OPTIONS]   adaptive micro-batching server speaking
+                                       newline-delimited JSON (requests like
+                                       {\"fn\": \"main\", \"input\": \"[1, 2]\"})
 
 OPTIONS:
     --entry <name>      entry function (default: `main`, or the sole definition)
@@ -48,6 +58,18 @@ OPTIONS:
                         runtime; (bench) measure only batch size n instead of
                         the default sweep 1, 8, 64
     --json <path>       (bench) also write the records as BENCH_batch.json
+    --addr <host:port>  (serve) listen for TCP connections; a client line
+                        {\"cmd\": \"shutdown\"} drains and stops the server
+    --stdin             (serve) read requests from stdin, answer on stdout,
+                        drain at EOF (pipe-driven use)
+    --max-batch <n>     (serve) flush a batch at n requests (default 32);
+                        1 disables batching
+    --max-wait-ms <n>   (serve) flush when the oldest queued request is n
+                        milliseconds old (default 2); 0 disables waiting
+                        (backlogged requests still batch up to --max-batch)
+    --queue-cap <n>     (serve) per-shard admission queue capacity
+                        (default 1024); a full queue answers
+                        {\"error\": ..., \"kind\": \"overloaded\"}
 ";
 
 struct Opts {
@@ -61,6 +83,11 @@ struct Opts {
     fuel: Option<u64>,
     batch: Option<usize>,
     json: Option<String>,
+    addr: Option<String>,
+    stdin: bool,
+    max_batch: usize,
+    max_wait_ms: u64,
+    queue_cap: usize,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
@@ -68,7 +95,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         return Err("expected a command and a file".into());
     }
     let cmd = args.remove(0);
-    if !["check", "run", "compile", "bench"].contains(&cmd.as_str()) {
+    if !["check", "run", "compile", "bench", "serve"].contains(&cmd.as_str()) {
         return Err(format!("unknown command `{cmd}`"));
     }
     let file = args.remove(0);
@@ -83,6 +110,11 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         fuel: None,
         batch: None,
         json: None,
+        addr: None,
+        stdin: false,
+        max_batch: 32,
+        max_wait_ms: 2,
+        queue_cap: 1024,
     };
     // Silently dropping a flag hides typos; each subcommand accepts only
     // the options it actually reads.
@@ -96,6 +128,15 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
             "--backend",
             "--batch",
             "--json",
+        ],
+        "serve" => &[
+            "--addr",
+            "--stdin",
+            "--opt",
+            "--backend",
+            "--max-batch",
+            "--max-wait-ms",
+            "--queue-cap",
         ],
         _ => &[
             "--entry",
@@ -149,6 +190,35 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
                 opts.batch = Some(n);
             }
             "--json" => opts.json = Some(val("--json")?),
+            "--addr" => opts.addr = Some(val("--addr")?),
+            "--stdin" => opts.stdin = true,
+            "--max-batch" => {
+                opts.max_batch = val("--max-batch")?
+                    .parse()
+                    .map_err(|_| "--max-batch expects a number".to_string())?;
+                if opts.max_batch == 0 {
+                    return Err("--max-batch expects a positive number".into());
+                }
+            }
+            "--max-wait-ms" => {
+                opts.max_wait_ms = val("--max-wait-ms")?
+                    .parse()
+                    .map_err(|_| "--max-wait-ms expects a number".to_string())?;
+                // An absurd wait would overflow `Instant + Duration` in
+                // the batcher's deadline arithmetic; an hour is already
+                // far past any sensible batching latency ceiling.
+                if opts.max_wait_ms > 3_600_000 {
+                    return Err("--max-wait-ms expects at most 3600000 (one hour)".into());
+                }
+            }
+            "--queue-cap" => {
+                opts.queue_cap = val("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap expects a number".to_string())?;
+                if opts.queue_cap == 0 {
+                    return Err("--queue-cap expects a positive number".into());
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -215,6 +285,7 @@ fn drive(opts: &Opts) -> Result<(), String> {
         "compile" => cmd_compile(opts, &module),
         "run" => cmd_run(opts, &module),
         "bench" => cmd_bench(opts, &module),
+        "serve" => cmd_serve(opts, &module),
         _ => unreachable!(),
     }
 }
@@ -366,6 +437,51 @@ fn cmd_run(opts: &Opts, module: &Module) -> Result<(), String> {
         let _ = writeln!(out, "{name:name_w$}  {:>12}  {:>12}", c.time, c.work);
     }
     Ok(())
+}
+
+fn cmd_serve(opts: &Opts, module: &Module) -> Result<(), String> {
+    if opts.addr.is_some() == opts.stdin {
+        return Err("serve needs exactly one front end: --addr <host:port> or --stdin".into());
+    }
+    let cfg = ServeConfig {
+        max_batch: opts.max_batch,
+        max_wait: Duration::from_millis(opts.max_wait_ms),
+        queue_cap: opts.queue_cap,
+        opt: opts.opt,
+        // `--backend seq|par` picks the default shard backend (requests
+        // may override per call); the `both` default falls back to seq.
+        backend: opts.backends.first().copied().unwrap_or(Backend::Seq),
+        on_flush: None,
+    };
+    let mut server = Server::new(cfg);
+    let skipped = server.register_module(module);
+    for (name, why) in &skipped {
+        eprintln!("note: not serving `{name}`: {why}");
+    }
+    if server.functions().is_empty() {
+        return Err("no servable definitions (every definition was skipped)".into());
+    }
+    // Name the default backend in the banner: `--backend both` (also
+    // the default) falls back to seq for serving, and that choice must
+    // be visible, not silent.
+    eprintln!(
+        "serving {} on {} (backend {}, max_batch {}, max_wait {}ms, queue_cap {})",
+        server.functions().join(", "),
+        opts.addr.as_deref().unwrap_or("stdin"),
+        server.config().backend.name(),
+        opts.max_batch,
+        opts.max_wait_ms,
+        opts.queue_cap,
+    );
+    let server = Arc::new(server);
+    if let Some(addr) = &opts.addr {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+        front::serve_tcp(&server, listener).map_err(|e| format!("serving `{addr}`: {e}"))
+    } else {
+        let stdin = std::io::stdin().lock();
+        front::serve_lines(&server, stdin, std::io::stdout()).map_err(|e| format!("serving: {e}"))
+    }
 }
 
 fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {

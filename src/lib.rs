@@ -16,6 +16,9 @@
 //! * [`runtime`] — the serving layer: the compile-once
 //!   program cache and the pack/lanes batch runner (see the README's
 //!   "Serving and batching" section);
+//! * [`serve`] — the adaptive micro-batching request server
+//!   (`nsc serve`): bounded admission queues, dual-threshold batcher
+//!   shards, per-shard metrics, and the newline-delimited JSON fronts;
 //! * [`machine`] — the Bounded Vector Random Access Machine with
 //!   sequential and rayon backends;
 //! * [`net`] — the Proposition 2.1 butterfly-network bound;
@@ -34,4 +37,5 @@ pub use nsc_algorithms as algorithms;
 pub use nsc_compile as compile;
 pub use nsc_core as core;
 pub use nsc_runtime as runtime;
+pub use nsc_serve as serve;
 pub use pram as sched;
