@@ -70,6 +70,19 @@ impl RegSet {
         changed
     }
 
+    /// `self &= other` (set intersection); returns `true` if `self`
+    /// changed.  The join of must-analyses like definite initialization
+    /// (`crate::verify`).
+    pub fn intersect_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a &= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
     /// `self &= !other` (set difference), word-wise.
     pub fn difference_with(&mut self, other: &RegSet) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {

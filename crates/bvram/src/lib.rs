@@ -25,6 +25,7 @@ pub mod instr;
 pub mod lanes;
 pub mod par;
 pub mod program;
+pub mod verify;
 
 pub use analysis::StaticCost;
 pub use exec::{run_program, Machine, MachineError, RunOutcome, Stats, Vector};
@@ -32,3 +33,4 @@ pub use instr::{Instr, Label, Op, Reg};
 pub use lanes::{run_lanes_rayon, run_lanes_seq};
 pub use par::ParMachine;
 pub use program::{BuildError, Builder, Program};
+pub use verify::{verify_program, verify_program_basic, FaultReason, FaultSite, Report, Violation};

@@ -58,6 +58,10 @@ pub enum BuildError {
         /// Its rendering.
         instr: String,
     },
+    /// The resolved program failed the verifier's structural checks
+    /// ([`crate::verify::check_structure`] — the single source of truth
+    /// for what "well-formed" means, shared with the static verifier).
+    Malformed(String),
 }
 
 impl fmt::Display for BuildError {
@@ -68,6 +72,7 @@ impl fmt::Display for BuildError {
             BuildError::PendingOnNonJump { at, instr } => {
                 write!(f, "pending label on non-jump instruction {at}: {instr}")
             }
+            BuildError::Malformed(what) => write!(f, "malformed program: {what}"),
         }
     }
 }
@@ -165,12 +170,21 @@ impl Builder {
                 }
             }
         }
-        Ok(Program {
+        let prog = Program {
             instrs: self.instrs,
             n_regs: self.max_reg as usize + 1,
             r_in: self.r_in,
             r_out: self.r_out,
-        })
+        };
+        // One source of truth for structural well-formedness: the
+        // verifier's check.  The builder's own bookkeeping (register
+        // tracking, label resolution) should make these unreachable;
+        // this catches builder bugs instead of letting them surface as
+        // interpreter panics.
+        if let Some(v) = crate::verify::check_structure(&prog).into_iter().next() {
+            return Err(BuildError::Malformed(v.to_string()));
+        }
+        Ok(prog)
     }
 }
 

@@ -14,8 +14,8 @@ pub mod opt;
 pub mod pipeline;
 
 pub use codegen::compile_sa;
-pub use opt::{optimize, OptLevel};
+pub use opt::{optimize, optimize_checked, OptLevel, PassError, VerifyLevel};
 pub use pipeline::{
-    compile_nsc, compile_nsc_with, decode_result, differential, encode_arg, eval_error_of,
-    run_compiled, run_compiled_on, run_program_on, Backend, Compiled,
+    compile_nsc, compile_nsc_verified, compile_nsc_with, decode_result, differential, encode_arg,
+    eval_error_of, run_compiled, run_compiled_on, run_program_on, Backend, Compiled,
 };

@@ -24,6 +24,9 @@ use super::remove_marked;
 use bvram::analysis::{block_leaders, successors, RegSet};
 use bvram::{Instr, Program, Reg};
 
+/// Pass name used by translation-validation diagnostics.
+pub const NAME: &str = "coalesce";
+
 /// Registers read by `ins`, plus `Halt`'s implicit use of the outputs.
 fn uses_of(ins: &Instr, r_out: usize) -> Vec<Reg> {
     match ins {

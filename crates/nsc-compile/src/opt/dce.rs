@@ -18,6 +18,9 @@ use super::remove_marked;
 use bvram::analysis::can_fault;
 use bvram::Program;
 
+/// Pass name used by translation-validation diagnostics.
+pub const NAME: &str = "dce";
+
 /// Removes dead infallible instructions until none remain.  Returns
 /// `true` if anything was removed.
 pub fn eliminate_dead(prog: &mut Program) -> bool {

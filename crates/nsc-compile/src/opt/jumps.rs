@@ -10,6 +10,9 @@ use super::remove_marked;
 use bvram::analysis::reachable;
 use bvram::{Instr, Program};
 
+/// Pass name used by translation-validation diagnostics.
+pub const NAME: &str = "jumps";
+
 /// Follows a `Goto` chain from `t` to its final destination.  Returns
 /// `t` unchanged if the chain cycles or leaves the program.
 fn chase(prog: &Program, t: u32) -> u32 {

@@ -28,6 +28,9 @@ use bvram::analysis::block_leaders;
 use bvram::{Instr, Op, Program, Reg};
 use std::collections::HashMap;
 
+/// Pass name used by translation-validation diagnostics.
+pub const NAME: &str = "local";
+
 /// A register at a specific definition version.
 type Versioned = (Reg, u32);
 

@@ -32,7 +32,9 @@ pub mod dce;
 pub mod jumps;
 pub mod local;
 
+use bvram::verify::{verify_program_basic, Report};
 use bvram::{Instr, Program};
+use std::fmt;
 
 /// How hard [`optimize`] works.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -45,6 +47,102 @@ pub enum OptLevel {
     O1,
 }
 
+/// Whether compilation runs the static verifier as translation
+/// validation (`bvram::verify` after codegen and after *every*
+/// optimizer pass, naming the pass that broke an invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyLevel {
+    /// No validation (the default): passes are trusted.
+    #[default]
+    Off,
+    /// Verify after codegen and after every pass application.
+    Full,
+}
+
+impl VerifyLevel {
+    /// Reads the `NSC_VERIFY` environment variable (`1`/`true` enables
+    /// [`VerifyLevel::Full`]), so an entire test suite can be
+    /// translation-validated without touching call sites.
+    pub fn from_env() -> VerifyLevel {
+        match std::env::var("NSC_VERIFY") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => VerifyLevel::Full,
+            _ => VerifyLevel::Off,
+        }
+    }
+
+    /// Whether any validation runs.
+    pub fn enabled(self) -> bool {
+        self == VerifyLevel::Full
+    }
+}
+
+/// Pass name for the register-compaction step (the four rewrite passes
+/// export their own `NAME` consts).
+pub const COMPACT_NAME: &str = "compact_registers";
+
+/// A translation-validation failure: the named stage left the program
+/// in a state the static verifier rejects.
+#[derive(Debug, Clone)]
+pub struct PassError {
+    /// The stage that broke the invariant (`"codegen"`, a pass `NAME`,
+    /// or [`COMPACT_NAME`]).
+    pub pass: &'static str,
+    /// The violated invariant(s), rendered with pc + instruction.
+    pub detail: String,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "translation validation failed after `{}`: {}",
+            self.pass,
+            self.detail.trim_end()
+        )
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// The invariants a verified stage must preserve, snapshotted from the
+/// stage input: structural validity always, plus init-cleanliness and
+/// no-fall-off when the input had them (a pass must not *introduce*
+/// use-before-def or a path off the end).
+#[derive(Debug, Clone, Copy)]
+struct Baseline {
+    init_clean: bool,
+    no_fall_off: bool,
+}
+
+impl Baseline {
+    fn of(report: &Report) -> Baseline {
+        Baseline {
+            // A skipped init analysis (program over budget) yields an
+            // empty `uninit_reads` vacuously; don't promote that to a
+            // guarantee the next stage must match.
+            init_clean: !report.init_analysis_skipped && report.uninit_reads.is_empty(),
+            no_fall_off: report.fall_off.is_empty(),
+        }
+    }
+}
+
+fn check_stage(pass: &'static str, prog: &Program, base: Baseline) -> Result<(), PassError> {
+    // The basic verifier covers everything the pass contract promises
+    // (structure, init, fall-off); the length domain is diagnostic-only
+    // and far too slow to rerun after every pass.
+    let report = verify_program_basic(prog);
+    let broken = !report.ok()
+        || (base.init_clean && !report.uninit_reads.is_empty())
+        || (base.no_fall_off && !report.fall_off.is_empty());
+    if broken {
+        return Err(PassError {
+            pass,
+            detail: report.to_string(),
+        });
+    }
+    Ok(())
+}
+
 /// Maximum pass-pipeline rounds before giving up on reaching a fixpoint
 /// (each round strictly shrinks the program or leaves it unchanged, so
 /// this is a defensive bound, not a tuning knob).
@@ -55,17 +153,59 @@ const MAX_ROUNDS: usize = 8;
 /// the program by value (compiled programs reach millions of
 /// instructions; callers holding a borrow can clone at the call site).
 pub fn optimize(prog: Program, level: OptLevel) -> Program {
+    optimize_checked(prog, level, VerifyLevel::Off, "input")
+        .expect("unverified optimization is infallible")
+}
+
+/// [`optimize`] under translation validation: with
+/// [`VerifyLevel::Full`], the static verifier runs on the input (stage
+/// `input_stage` — callers name it `"codegen"` when handing over fresh
+/// codegen output) and again after every pass application, and the
+/// first pass to break an invariant is reported by name with pc +
+/// instruction diagnostics.
+pub fn optimize_checked(
+    prog: Program,
+    level: OptLevel,
+    verify: VerifyLevel,
+    input_stage: &'static str,
+) -> Result<Program, PassError> {
     let mut p = prog;
+    let base = if verify.enabled() {
+        let report = verify_program_basic(&p);
+        if !report.ok() {
+            return Err(PassError {
+                pass: input_stage,
+                detail: report.to_string(),
+            });
+        }
+        Baseline::of(&report)
+    } else {
+        Baseline {
+            init_clean: false,
+            no_fall_off: false,
+        }
+    };
     if level == OptLevel::O0 {
-        return p;
+        return Ok(p);
     }
+    let check = |pass: &'static str, p: &Program| -> Result<(), PassError> {
+        if verify.enabled() {
+            check_stage(pass, p, base)
+        } else {
+            Ok(())
+        }
+    };
     for round in 0..MAX_ROUNDS {
         let before = p.instrs.len();
         let mut changed = false;
         changed |= local::propagate_and_number(&mut p);
+        check(local::NAME, &p)?;
         changed |= jumps::thread_jumps(&mut p);
+        check(jumps::NAME, &p)?;
         changed |= dce::eliminate_dead(&mut p);
+        check(dce::NAME, &p)?;
         changed |= coalesce::coalesce_moves(&mut p);
+        check(coalesce::NAME, &p)?;
         if !changed {
             break;
         }
@@ -76,7 +216,8 @@ pub fn optimize(prog: Program, level: OptLevel) -> Program {
         }
     }
     compact_registers(&mut p);
-    p
+    check(COMPACT_NAME, &p)?;
+    Ok(p)
 }
 
 /// Removes the instructions flagged in `delete`, remapping jump targets.

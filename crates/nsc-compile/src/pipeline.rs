@@ -13,7 +13,7 @@
 
 use crate::codegen::compile_sa;
 use crate::layout::{regs_to_value, value_to_regs};
-use crate::opt::{optimize, OptLevel};
+use crate::opt::{optimize_checked, OptLevel, VerifyLevel};
 use bvram::{Machine, MachineError, ParMachine, Program, RunOutcome, StaticCost, Vector};
 use nsc_algebra::nsa::from_nsc::func_to_nsa;
 use nsc_algebra::sa::flatten::{compile, compile_type, decode, encode};
@@ -59,7 +59,26 @@ pub fn compile_nsc(f: &Func, dom: &Type) -> Result<Compiled, E> {
 
 /// Compiles a closed NSC function `f : dom → cod` down to the BVRAM,
 /// running the [`crate::opt`] pass pipeline at the requested level.
+///
+/// Translation validation follows the `NSC_VERIFY` environment variable
+/// ([`VerifyLevel::from_env`]); use [`compile_nsc_verified`] to choose
+/// explicitly.
 pub fn compile_nsc_with(f: &Func, dom: &Type, level: OptLevel) -> Result<Compiled, E> {
+    compile_nsc_verified(f, dom, level, VerifyLevel::from_env())
+}
+
+/// [`compile_nsc_with`] with explicit translation validation: under
+/// [`VerifyLevel::Full`] the static verifier (`bvram::verify`) checks
+/// the codegen output and re-checks after every optimizer pass, and a
+/// broken invariant is reported as [`E::MachineFault`] naming the pass,
+/// the pc and the instruction — a miscompile can never masquerade as a
+/// legitimate runtime `Ω`.
+pub fn compile_nsc_verified(
+    f: &Func,
+    dom: &Type,
+    level: OptLevel,
+    verify: VerifyLevel,
+) -> Result<Compiled, E> {
     let nsa = func_to_nsa(f).map_err(E::Translation)?;
     let (sa, cod) = compile(&nsa, dom)?;
     let (program, sa_cod) = compile_sa(&sa, &compile_type(dom))?;
@@ -75,7 +94,8 @@ pub fn compile_nsc_with(f: &Func, dom: &Type, level: OptLevel) -> Result<Compile
             compile_type(&cod)
         )));
     }
-    let program = optimize(program, level);
+    let program = optimize_checked(program, level, verify, "codegen")
+        .map_err(|e| E::MachineFault(e.to_string()))?;
     Ok(Compiled::from_parts(program, dom.clone(), cod))
 }
 

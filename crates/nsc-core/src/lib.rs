@@ -44,6 +44,7 @@ pub mod cost;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod lint;
 pub mod maprec;
 pub mod parse;
 pub mod pretty;
@@ -56,6 +57,7 @@ pub use ast::{Func, Term};
 pub use cost::Cost;
 pub use error::{EvalError, TypeError};
 pub use eval::{apply_func, eval_term, Evaluator, FuncDef, FuncTable};
+pub use lint::{lint_module, Lint};
 pub use parse::{parse_func, parse_module, parse_term, parse_type, parse_value, ParseError};
 pub use types::Type;
 pub use value::Value;

@@ -1,0 +1,359 @@
+//! A surface linter for `.nsc` modules: warnings for patterns that type
+//! check but almost certainly do not mean what they say.
+//!
+//! Lints are *warnings*, not errors — [`lint_module`] never fails, and a
+//! module with findings still parses, checks, and runs.  The checks:
+//!
+//! * **`unused-def`** — a definition unreachable from `main` through the
+//!   call graph (only when the module has a `main`; without one every
+//!   definition is a potential entry point).
+//! * **`shadowed-binder`** — a `λx.` or `case` binder reuses a name
+//!   already bound in scope; NSC substitution is capture-safe, so this
+//!   is legal, but the inner binding silently wins.
+//! * **`unreachable-arm`** — a `case` whose scrutinee is a syntactic
+//!   `inl`/`inr` injection: one arm can never run.
+//! * **`non-inlinable`** — the definition cannot be resolved to pure NSC
+//!   by [`Module::inlined`] (recursion, or an inlining-depth/size blowup);
+//!   it still evaluates through the function table, but the Theorem 7.1
+//!   compiler will refuse it, which is worth knowing before `nsc run`.
+//!
+//! Findings are reported in deterministic order: definitions in source
+//! order, and within a definition in a left-to-right walk of the body.
+
+use crate::ast::{Func, FuncK, Ident, Term, TermK};
+use crate::parse::{Module, ModuleError};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable machine-readable code (`unused-def`, `shadowed-binder`,
+    /// `unreachable-arm`, `non-inlinable`).
+    pub code: &'static str,
+    /// The definition the finding is in.
+    pub def: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warning[{}]: in `{}`: {}",
+            self.code, self.def, self.message
+        )
+    }
+}
+
+/// Lints `module`, returning findings in deterministic order.  Never
+/// fails: a module that does not even type check still lints (the
+/// checks here are purely syntactic).
+pub fn lint_module(module: &Module) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    unused_defs(module, &mut lints);
+    for d in &module.defs {
+        let mut walk = Walk {
+            def: d.name.to_string(),
+            scope: Vec::new(),
+            lints: &mut lints,
+        };
+        walk.func(&d.func);
+    }
+    non_inlinable(module, &mut lints);
+    lints
+}
+
+/// Collects the definitions a function references by name.
+fn refs(f: &Func, out: &mut Vec<Ident>) {
+    match f.kind() {
+        FuncK::Lambda(_, _, body) => term_refs(body, out),
+        FuncK::Map(g) => refs(g, out),
+        FuncK::While(p, g) => {
+            refs(p, out);
+            refs(g, out);
+        }
+        FuncK::Named(n) => out.push(n.clone()),
+    }
+}
+
+fn term_refs(t: &Term, out: &mut Vec<Ident>) {
+    match t.kind() {
+        TermK::Var(_) | TermK::Error(_) | TermK::Const(_) | TermK::Unit | TermK::Empty(_) => {}
+        TermK::Arith(_, a, b)
+        | TermK::Cmp(_, a, b)
+        | TermK::Pair(a, b)
+        | TermK::Append(a, b)
+        | TermK::Zip(a, b)
+        | TermK::Split(a, b) => {
+            term_refs(a, out);
+            term_refs(b, out);
+        }
+        TermK::Proj1(a)
+        | TermK::Proj2(a)
+        | TermK::Inl(a, _)
+        | TermK::Inr(a, _)
+        | TermK::Singleton(a)
+        | TermK::Flatten(a)
+        | TermK::Length(a)
+        | TermK::Get(a)
+        | TermK::Enumerate(a) => term_refs(a, out),
+        TermK::Case(s, _, n, _, p) => {
+            term_refs(s, out);
+            term_refs(n, out);
+            term_refs(p, out);
+        }
+        TermK::Apply(f, a) => {
+            refs(f, out);
+            term_refs(a, out);
+        }
+    }
+}
+
+/// `unused-def`: definitions unreachable from `main`.
+fn unused_defs(module: &Module, lints: &mut Vec<Lint>) {
+    if module.get("main").is_none() {
+        return;
+    }
+    let mut live: HashSet<Ident> = HashSet::new();
+    let mut work = vec![crate::ast::ident("main")];
+    while let Some(name) = work.pop() {
+        if !live.insert(name.clone()) {
+            continue;
+        }
+        if let Some(d) = module.get(&name) {
+            let mut out = Vec::new();
+            refs(&d.func, &mut out);
+            work.extend(out);
+        }
+    }
+    for d in &module.defs {
+        if !live.contains(&d.name) {
+            lints.push(Lint {
+                code: "unused-def",
+                def: d.name.to_string(),
+                message: "never referenced from `main`".into(),
+            });
+        }
+    }
+}
+
+/// `non-inlinable`: the entry definitions the compiler would refuse.
+fn non_inlinable(module: &Module, lints: &mut Vec<Lint>) {
+    for d in &module.defs {
+        match module.inlined(&d.name) {
+            Ok(_) => {}
+            // Reported per offending definition already (recursion is a
+            // property of the cycle, but the message names the def hit).
+            Err(
+                e @ (ModuleError::Recursive(_)
+                | ModuleError::InliningTooDeep(_)
+                | ModuleError::InliningTooLarge(_)),
+            ) => lints.push(Lint {
+                code: "non-inlinable",
+                def: d.name.to_string(),
+                message: format!("not compilable to pure NSC: {e}"),
+            }),
+            // Unknown names, open definitions, ... are hard errors that
+            // `Module::check` reports; not this linter's business.
+            Err(_) => {}
+        }
+    }
+}
+
+/// The scoped walk for `shadowed-binder` and `unreachable-arm`.
+struct Walk<'a> {
+    def: String,
+    scope: Vec<Ident>,
+    lints: &'a mut Vec<Lint>,
+}
+
+impl Walk<'_> {
+    fn bind(&mut self, x: &Ident, what: &str) {
+        if self.scope.contains(x) {
+            self.lints.push(Lint {
+                code: "shadowed-binder",
+                def: self.def.clone(),
+                message: format!("{what} `{x}` shadows an enclosing binding of `{x}`"),
+            });
+        }
+        self.scope.push(x.clone());
+    }
+
+    fn unbind(&mut self) {
+        self.scope.pop();
+    }
+
+    fn func(&mut self, f: &Func) {
+        match f.kind() {
+            FuncK::Lambda(x, _, body) => {
+                self.bind(x, "lambda binder");
+                self.term(body);
+                self.unbind();
+            }
+            FuncK::Map(g) => self.func(g),
+            FuncK::While(p, g) => {
+                self.func(p);
+                self.func(g);
+            }
+            FuncK::Named(_) => {}
+        }
+    }
+
+    fn term(&mut self, t: &Term) {
+        match t.kind() {
+            TermK::Var(_) | TermK::Error(_) | TermK::Const(_) | TermK::Unit | TermK::Empty(_) => {}
+            TermK::Arith(_, a, b)
+            | TermK::Cmp(_, a, b)
+            | TermK::Pair(a, b)
+            | TermK::Append(a, b)
+            | TermK::Zip(a, b)
+            | TermK::Split(a, b) => {
+                self.term(a);
+                self.term(b);
+            }
+            TermK::Proj1(a)
+            | TermK::Proj2(a)
+            | TermK::Inl(a, _)
+            | TermK::Inr(a, _)
+            | TermK::Singleton(a)
+            | TermK::Flatten(a)
+            | TermK::Length(a)
+            | TermK::Get(a)
+            | TermK::Enumerate(a) => self.term(a),
+            TermK::Case(s, x, n, y, p) => {
+                self.term(s);
+                match s.kind() {
+                    TermK::Inl(..) => self.lints.push(Lint {
+                        code: "unreachable-arm",
+                        def: self.def.clone(),
+                        message: format!(
+                            "scrutinee is `inl(...)`, so the `inr({y})` arm never runs"
+                        ),
+                    }),
+                    TermK::Inr(..) => self.lints.push(Lint {
+                        code: "unreachable-arm",
+                        def: self.def.clone(),
+                        message: format!(
+                            "scrutinee is `inr(...)`, so the `inl({x})` arm never runs"
+                        ),
+                    }),
+                    _ => {}
+                }
+                self.bind(x, "case binder");
+                self.term(n);
+                self.unbind();
+                self.bind(y, "case binder");
+                self.term(p);
+                self.unbind();
+            }
+            TermK::Apply(f, a) => {
+                self.func(f);
+                self.term(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn codes(src: &str) -> Vec<(&'static str, String)> {
+        lint_module(&parse_module(src).unwrap())
+            .into_iter()
+            .map(|l| (l.code, l.def))
+            .collect()
+    }
+
+    #[test]
+    fn clean_module_has_no_findings() {
+        let src = "
+            fn double : [N] -> [N] = map((\\x. (x * 2)))
+            fn main : [N] -> [N] = (\\xs. double(xs))
+        ";
+        assert_eq!(codes(src), vec![]);
+    }
+
+    #[test]
+    fn unused_def_is_flagged_only_with_a_main() {
+        let src = "
+            fn orphan : N -> N = (\\x. x)
+            fn main : N -> N = (\\x. x)
+        ";
+        assert_eq!(codes(src), vec![("unused-def", "orphan".into())]);
+        // No main: every definition is an entry point.
+        assert_eq!(codes("fn orphan : N -> N = (\\x. x)"), vec![]);
+    }
+
+    #[test]
+    fn transitive_references_keep_defs_alive() {
+        let src = "
+            fn a : N -> N = (\\x. b(x))
+            fn b : N -> N = (\\x. x)
+            fn main : N -> N = (\\x. a(x))
+        ";
+        assert_eq!(codes(src), vec![]);
+    }
+
+    #[test]
+    fn shadowed_binders_are_flagged() {
+        let m = parse_module("fn main : N -> N = (\\x. get(map((\\x. x))([x])))").unwrap();
+        let lints = lint_module(&m);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "shadowed-binder");
+        assert!(lints[0].message.contains("`x`"), "{}", lints[0].message);
+    }
+
+    #[test]
+    fn case_binders_shadow_too() {
+        let src = "fn main : N -> N =
+            (\\x. case inl:N(x) of inl(x) => x | inr(y) => y)";
+        let found = codes(src);
+        assert!(
+            found.contains(&("shadowed-binder", "main".into())),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn static_injection_scrutinee_flags_the_dead_arm() {
+        let src = "fn main : N -> N =
+            (\\x. case inl:N(x) of inl(a) => a | inr(b) => b)";
+        let found = codes(src);
+        assert!(
+            found.contains(&("unreachable-arm", "main".into())),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn recursive_defs_are_reported_non_inlinable() {
+        let src = "fn main : N -> N = (\\x. if (x = 0) then 0 else main((x -. 1)))";
+        assert_eq!(codes(src), vec![("non-inlinable", "main".into())]);
+    }
+
+    #[test]
+    fn lint_is_deterministic() {
+        let src = "
+            fn dead1 : N -> N = (\\x. x)
+            fn dead2 : N -> N = (\\x. (\\x. x)(x))
+            fn main : N -> N = (\\x. x)
+        ";
+        let a = lint_module(&parse_module(src).unwrap());
+        let b = lint_module(&parse_module(src).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter()
+                .map(|l| (l.code, l.def.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                ("unused-def", "dead1"),
+                ("unused-def", "dead2"),
+                ("shadowed-binder", "dead2"),
+            ]
+        );
+    }
+}

@@ -31,8 +31,9 @@
 //! normalize first or reuse the built AST.
 
 use crate::repr::{ErrorRepr, TypeRepr};
+use bvram::verify::verify_program_basic;
 use bvram::{Program, StaticCost};
-use nsc_compile::{compile_nsc_with, optimize, Backend, Compiled, OptLevel};
+use nsc_compile::{compile_nsc_with, optimize_checked, Backend, Compiled, OptLevel, VerifyLevel};
 use nsc_core::ast;
 use nsc_core::error::EvalError;
 use nsc_core::types::Type;
@@ -134,6 +135,22 @@ type SharedHook = Arc<dyn Fn(&CacheKey) + Send + Sync>;
 /// scalar-map kernel (the ones pack actually wins on) stays optimized.
 pub const KERNEL_OPT_BUDGET: usize = 1 << 19;
 
+/// Verifies a program once at cache insert, before any request can run
+/// it: no structural violations, no use-before-def, no path off the end
+/// ([`bvram::verify::Report::clean`]).  The verifier degrades
+/// gracefully on oversized kernels (its dataflow budgets kick in and
+/// only the linear structural + reachability checks run), so this is
+/// safe to apply unconditionally.
+fn verify_artifact(what: &str, program: &Program) -> Result<(), EvalError> {
+    let report = verify_program_basic(program);
+    if !report.clean() {
+        return Err(EvalError::MachineFault(format!(
+            "{what} program failed verification at cache insert:\n{report}"
+        )));
+    }
+    Ok(())
+}
+
 // Failures are stored as the Send-safe [`ErrorRepr`] mirror (the real
 // [`EvalError`] embeds `Rc`-based types) and rebuilt per requester.
 type Entry = Arc<OnceLock<Result<Arc<CachedProgram>, ErrorRepr>>>;
@@ -211,10 +228,17 @@ impl CompiledCache {
                     compile_nsc_with(&ast::map(f.clone()), &Type::seq(dom.clone()), OptLevel::O0)?;
                 let kernel = if opt != OptLevel::O0 && k0.program.instrs.len() <= KERNEL_OPT_BUDGET
                 {
-                    Compiled::from_parts(optimize(k0.program, opt), k0.dom, k0.cod)
+                    // Kernel optimization honors `NSC_VERIFY` the same
+                    // way `compile_nsc` does: per-pass translation
+                    // validation, with the failing pass named.
+                    let p = optimize_checked(k0.program, opt, VerifyLevel::from_env(), "codegen")
+                        .map_err(|e| EvalError::MachineFault(e.to_string()))?;
+                    Compiled::from_parts(p, k0.dom, k0.cod)
                 } else {
                     k0
                 };
+                verify_artifact("single", &single.program)?;
+                verify_artifact("batch kernel", &kernel.program)?;
                 Ok((single, kernel))
             })();
             match compiled {

@@ -23,7 +23,7 @@
 //! or a pipe via `--stdin`) through the adaptive micro-batching server in
 //! `nsc::serve` — see the README's "Serving" section for the protocol.
 
-use nsc::compile::{compile_nsc_with, run_compiled_on, Backend, OptLevel};
+use nsc::compile::{compile_nsc_verified, run_compiled_on, Backend, OptLevel, VerifyLevel};
 use nsc::core::eval::Evaluator;
 use nsc::core::parse::{parse_module, parse_value, Module};
 use nsc::core::{Cost, EvalError};
@@ -37,7 +37,11 @@ const USAGE: &str = "\
 nsc — surface-language driver for the Suciu & Tannen compilation pipeline
 
 USAGE:
-    nsc check   <file.nsc>             parse and type check, print signatures
+    nsc check   <file.nsc> [OPTIONS]   parse and type check, print signatures
+                                       (lint warnings go to stderr)
+    nsc lint    <file.nsc>             print lint warnings (unused definitions,
+                                       shadowed binders, unreachable case arms,
+                                       non-compilable recursion)
     nsc run     <file.nsc> [OPTIONS]   evaluate, compile, run; print T/W vs T'/W'
     nsc compile <file.nsc> [OPTIONS]   print the compiled BVRAM program
     nsc bench   <file.nsc> [OPTIONS]   wall-clock batched execution (the
@@ -52,6 +56,10 @@ OPTIONS:
     --opt <0|1>         BVRAM optimization level (default: 1)
     --backend <b>       seq | par | both — which machine(s) run the compiled
                         code (default: both)
+    --verify            (check/run/compile) run the static BVRAM verifier as
+                        translation validation: every optimizer pass is
+                        checked and the first invariant-breaking pass is
+                        reported by name (also on via NSC_VERIFY=1)
     --source-only       (run) skip compilation, evaluate only
     --fuel <n>          abort source evaluation after n rule applications
     --batch <n>         (run) also serve the input n times through the batch
@@ -88,6 +96,7 @@ struct Opts {
     max_batch: usize,
     max_wait_ms: u64,
     queue_cap: usize,
+    verify: VerifyLevel,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
@@ -95,7 +104,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         return Err("expected a command and a file".into());
     }
     let cmd = args.remove(0);
-    if !["check", "run", "compile", "bench", "serve"].contains(&cmd.as_str()) {
+    if !["check", "lint", "run", "compile", "bench", "serve"].contains(&cmd.as_str()) {
         return Err(format!("unknown command `{cmd}`"));
     }
     let file = args.remove(0);
@@ -115,12 +124,14 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         max_batch: 32,
         max_wait_ms: 2,
         queue_cap: 1024,
+        verify: VerifyLevel::from_env(),
     };
     // Silently dropping a flag hides typos; each subcommand accepts only
     // the options it actually reads.
     let allowed: &[&str] = match opts.cmd.as_str() {
-        "check" => &[],
-        "compile" => &["--entry", "--opt"],
+        "check" => &["--verify"],
+        "lint" => &[],
+        "compile" => &["--entry", "--opt", "--verify"],
         "bench" => &[
             "--entry",
             "--input",
@@ -146,6 +157,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
             "--source-only",
             "--fuel",
             "--batch",
+            "--verify",
         ],
     };
     let mut it = args.into_iter();
@@ -173,6 +185,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
                 }
             }
             "--source-only" => opts.source_only = true,
+            "--verify" => opts.verify = VerifyLevel::Full,
             "--fuel" => {
                 opts.fuel = Some(
                     val("--fuel")?
@@ -272,13 +285,15 @@ fn drive(opts: &Opts) -> Result<(), String> {
     module.check().map_err(|e| format!("{}: {e}", opts.file))?;
 
     match opts.cmd.as_str() {
-        "check" => {
-            // One line per definition; tolerate a closed pipe like the
-            // other subcommands.
+        "check" => cmd_check(opts, &module),
+        "lint" => {
+            // Warnings on stdout (they are this command's output), one
+            // per line, deterministic order; findings do not fail the
+            // command — `check` is the pass/fail gate.
             use std::io::Write;
             let mut out = std::io::stdout().lock();
-            for d in &module.defs {
-                let _ = writeln!(out, "fn {} : {} -> {}", d.name, d.dom, d.cod);
+            for l in nsc::core::lint_module(&module) {
+                let _ = writeln!(out, "{l}");
             }
             Ok(())
         }
@@ -303,13 +318,42 @@ fn entry_name(opts: &Opts, module: &Module) -> Result<String, String> {
     Err("no `main` and several definitions; pick one with --entry".into())
 }
 
+fn cmd_check(opts: &Opts, module: &Module) -> Result<(), String> {
+    // One line per definition on stdout; lint warnings go to stderr so
+    // scripted consumers of the signature listing never see them.
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    for d in &module.defs {
+        let _ = writeln!(out, "fn {} : {} -> {}", d.name, d.dom, d.cod);
+    }
+    drop(out);
+    for l in nsc::core::lint_module(module) {
+        eprintln!("{l}");
+    }
+    if opts.verify.enabled() {
+        // Compile every pure-NSC definition under per-pass translation
+        // validation; a pass that breaks a verifier invariant fails the
+        // check.  Recursive definitions have no compiled form to verify.
+        for d in &module.defs {
+            let pure = match module.inlined(&d.name) {
+                Ok(p) => p,
+                Err(nsc::core::parse::ModuleError::Recursive(_)) => continue,
+                Err(e) => return Err(e.to_string()),
+            };
+            compile_nsc_verified(&pure, &d.dom, opts.opt, VerifyLevel::Full)
+                .map_err(|e| format!("verifying `{}`: {e}", d.name))?;
+        }
+    }
+    Ok(())
+}
+
 fn cmd_compile(opts: &Opts, module: &Module) -> Result<(), String> {
     let entry = entry_name(opts, module)?;
     let def = module
         .get(&entry)
         .ok_or_else(|| format!("no definition named `{entry}`"))?;
     let pure = module.inlined(&entry).map_err(|e| e.to_string())?;
-    let compiled = compile_nsc_with(&pure, &def.dom, opts.opt)
+    let compiled = compile_nsc_verified(&pure, &def.dom, opts.opt, opts.verify)
         .map_err(|e| format!("compiling `{entry}`: {e}"))?;
     // Listings are long; tolerate a closed pipe (`nsc compile … | head`).
     use std::io::Write;
@@ -371,7 +415,7 @@ fn cmd_run(opts: &Opts, module: &Module) -> Result<(), String> {
             }
             Err(e) => return Err(e.to_string()),
             Ok(pure) => {
-                let compiled = compile_nsc_with(&pure, &def.dom, opts.opt)
+                let compiled = compile_nsc_verified(&pure, &def.dom, opts.opt, opts.verify)
                     .map_err(|e| format!("compiling `{entry}`: {e}"))?;
                 for &backend in &opts.backends {
                     let (got, cost) = match run_compiled_on(&compiled, &input, backend) {

@@ -332,6 +332,35 @@ proptest! {
         }
     }
 
+    /// The static verifier accepts every machine-generatable program: a
+    /// fuzz program is structurally well-formed by construction, so
+    /// `verify` must report no violations on it — and none on its
+    /// optimized form either (the optimizer may not *introduce*
+    /// malformedness).  This is the verifier's false-positive guard: a
+    /// check that rejects valid programs would break per-pass
+    /// translation validation everywhere.
+    #[test]
+    fn prop_fuzz_programs_verify_ok(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..60),
+        la in 0usize..40, lb in 0usize..40, lc in 0usize..6,
+    ) {
+        use nsc::compile::{optimize, OptLevel};
+        let prog = nsc::machine::fuzz::decode_program(&words, [la, lb, lc], 2);
+        let before = nsc::machine::verify_program(&prog);
+        prop_assert!(before.ok(), "verifier rejected a fuzz program:\n{before}\n{prog}");
+        let opt = optimize(prog.clone(), OptLevel::O1);
+        let after = nsc::machine::verify_program(&opt);
+        prop_assert!(after.ok(), "verifier rejected an optimized fuzz program:\n{after}\n{opt}");
+        // Optimization must never conjure reads of never-written
+        // registers out of a program that had none.
+        if before.uninit_reads.is_empty() {
+            prop_assert!(
+                after.uninit_reads.is_empty(),
+                "optimizer introduced uninit reads:\n{after}\n{prog}\n{opt}"
+            );
+        }
+    }
+
     /// The surface-syntax round trip: `parse(pretty(t)) == t` for random
     /// terms over every constructor, and likewise for functions.  Purely
     /// syntactic — the generated terms need not type check.

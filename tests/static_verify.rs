@@ -1,0 +1,329 @@
+//! `bvram::verify` over everything the repo ships: every runnable
+//! stdlib function, every golden `.nsc` example, and the Map-Lemma
+//! pack kernels must verify **clean** — no structural violations, no
+//! uninit reads, no fall-off-the-end paths — at `O0` and at the
+//! default optimization level.  A mutation check then corrupts a
+//! verified program one instruction at a time and demands the verifier
+//! name the program counter and the broken invariant, so the suite
+//! would notice a verifier that "passes" by checking nothing.
+
+use bvram::instr::Instr;
+use bvram::{verify_program, Program};
+use nsc_compile::{compile_nsc_with, optimize_checked, OptLevel, VerifyLevel};
+use nsc_core::ast as a;
+use nsc_core::parse::parse_module;
+use nsc_core::stdlib;
+use nsc_core::types::Type;
+use nsc_core::Func;
+use std::path::PathBuf;
+
+/// Runs `f` on a thread with enough stack for the deepest stdlib
+/// compilations (`map(combine_flags)` and friends), mirroring
+/// `src/bin/nsc.rs`.
+fn on_big_stack(f: fn()) {
+    std::thread::Builder::new()
+        .name("static-verify-worker".into())
+        .stack_size(512 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn worker")
+        .join()
+        .expect("worker panicked");
+}
+
+/// Every runnable stdlib function with its domain — the same roster the
+/// batch-equivalence suite runs, minus the input generators.
+fn suite() -> Vec<(&'static str, Func, Type)> {
+    let nn = Type::prod(Type::Nat, Type::Nat);
+    let seq_n = Type::seq(Type::Nat);
+    let gt0 = a::lam("p0", a::lt(a::nat(0), a::var("p0")));
+    vec![
+        ("pi1", stdlib::pi1(), Type::seq(nn.clone())),
+        ("pi2", stdlib::pi2(), Type::seq(nn.clone())),
+        (
+            "broadcast",
+            stdlib::broadcast(),
+            Type::prod(Type::Nat, seq_n.clone()),
+        ),
+        (
+            "sigma1",
+            stdlib::sigma1(&Type::Nat),
+            Type::seq(Type::sum(Type::Nat, Type::Nat)),
+        ),
+        (
+            "sigma2",
+            stdlib::sigma2(&Type::Nat),
+            Type::seq(Type::sum(Type::Nat, Type::Nat)),
+        ),
+        ("filter(>0)", stdlib::filter(gt0, &Type::Nat), seq_n.clone()),
+        (
+            "index",
+            a::lam(
+                "p",
+                stdlib::index(a::fst(a::var("p")), a::snd(a::var("p")), &Type::Nat),
+            ),
+            Type::prod(seq_n.clone(), seq_n.clone()),
+        ),
+        (
+            "index_split",
+            a::lam(
+                "p",
+                stdlib::index_split(a::fst(a::var("p")), a::snd(a::var("p"))),
+            ),
+            Type::prod(seq_n.clone(), seq_n.clone()),
+        ),
+        (
+            "nth",
+            a::lam(
+                "p",
+                stdlib::nth(a::fst(a::var("p")), a::snd(a::var("p")), &Type::Nat),
+            ),
+            Type::prod(seq_n.clone(), Type::Nat),
+        ),
+        (
+            "take",
+            a::lam(
+                "p",
+                stdlib::take(a::fst(a::var("p")), a::snd(a::var("p")), &Type::Nat),
+            ),
+            Type::prod(seq_n.clone(), Type::Nat),
+        ),
+        (
+            "drop",
+            a::lam(
+                "p",
+                stdlib::drop(a::fst(a::var("p")), a::snd(a::var("p")), &Type::Nat),
+            ),
+            Type::prod(seq_n.clone(), Type::Nat),
+        ),
+        (
+            "first",
+            a::lam("x", stdlib::first(a::var("x"), &Type::Nat)),
+            seq_n.clone(),
+        ),
+        (
+            "last",
+            a::lam("x", stdlib::last(a::var("x"), &Type::Nat)),
+            seq_n.clone(),
+        ),
+        (
+            "tail",
+            a::lam("x", stdlib::tail(a::var("x"), &Type::Nat)),
+            seq_n.clone(),
+        ),
+        (
+            "remove_last",
+            a::lam("x", stdlib::remove_last(a::var("x"), &Type::Nat)),
+            seq_n.clone(),
+        ),
+        (
+            "isqrt_pow2",
+            a::lam("x", stdlib::isqrt_pow2(a::var("x"))),
+            Type::Nat,
+        ),
+        (
+            "sum_seq",
+            a::lam("x", stdlib::numeric::sum_seq(a::var("x"))),
+            seq_n.clone(),
+        ),
+        (
+            "maximum",
+            a::lam("x", stdlib::maximum(a::var("x"))),
+            seq_n.clone(),
+        ),
+        (
+            "prefix_sum",
+            a::lam("x", stdlib::prefix_sum(a::var("x"))),
+            seq_n.clone(),
+        ),
+        (
+            "bm_route",
+            a::lam(
+                "p",
+                stdlib::bm_route(
+                    a::fst(a::fst(a::var("p"))),
+                    a::snd(a::fst(a::var("p"))),
+                    a::snd(a::var("p")),
+                ),
+            ),
+            Type::prod(Type::prod(seq_n.clone(), seq_n.clone()), seq_n.clone()),
+        ),
+        (
+            "m_route",
+            a::lam(
+                "p",
+                stdlib::m_route(a::fst(a::var("p")), a::snd(a::var("p"))),
+            ),
+            Type::prod(seq_n.clone(), seq_n.clone()),
+        ),
+        (
+            "combine_flags",
+            a::lam(
+                "p",
+                stdlib::combine_flags(
+                    a::fst(a::var("p")),
+                    a::fst(a::snd(a::var("p"))),
+                    a::snd(a::snd(a::var("p"))),
+                    &Type::Nat,
+                ),
+            ),
+            Type::prod(
+                Type::seq(Type::bool_()),
+                Type::prod(seq_n.clone(), seq_n.clone()),
+            ),
+        ),
+    ]
+}
+
+fn assert_clean(what: &str, prog: &Program) {
+    let report = verify_program(prog);
+    assert!(
+        report.clean(),
+        "{what} failed static verification:\n{report}"
+    );
+}
+
+/// Every stdlib function compiles to a clean program, unoptimized and
+/// optimized alike.
+#[test]
+fn stdlib_verifies_clean_at_o0_and_o1() {
+    on_big_stack(|| {
+        for (name, f, dom) in suite() {
+            for level in [OptLevel::O0, OptLevel::O1] {
+                let c = compile_nsc_with(&f, &dom, level)
+                    .unwrap_or_else(|e| panic!("compiling {name} at {level:?}: {e}"));
+                assert_clean(&format!("{name} at {level:?}"), &c.program);
+            }
+        }
+    });
+}
+
+/// The Map-Lemma pack kernels `map(f) : [s] → [t]` — what the batch
+/// runtime actually executes — verify clean as lowered and after the
+/// per-pass-validated optimizer run the compiled-program cache performs.
+#[test]
+fn map_kernels_verify_clean() {
+    on_big_stack(|| {
+        for (name, f, dom) in suite() {
+            let k0 = compile_nsc_with(&a::map(f), &Type::seq(dom), OptLevel::O0)
+                .unwrap_or_else(|e| panic!("lowering map({name}): {e}"));
+            assert_clean(&format!("map({name}) at O0"), &k0.program);
+            // Mirror the cache's compile-latency guard: kernels past the
+            // budget ship unoptimized, so optimizing them here would
+            // verify a program no caller ever runs (and cost minutes).
+            if k0.program.instrs.len() > nsc::runtime::KERNEL_OPT_BUDGET {
+                continue;
+            }
+            let opt = optimize_checked(k0.program, OptLevel::O1, VerifyLevel::Full, name)
+                .unwrap_or_else(|e| panic!("optimizing map({name}): {e}"));
+            assert_clean(&format!("map({name}) at O1"), &opt);
+        }
+    });
+}
+
+/// Every golden example module compiles to a clean program at both
+/// optimization levels.
+#[test]
+fn golden_examples_verify_clean() {
+    on_big_stack(|| {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("examples/ directory") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_none_or(|e| e != "nsc") {
+                continue;
+            }
+            seen += 1;
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("read example");
+            let module = parse_module(&src).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+            let def = module.get("main").expect("examples define main");
+            let pure = module
+                .inlined("main")
+                .unwrap_or_else(|e| panic!("inlining {name}: {e}"));
+            for level in [OptLevel::O0, OptLevel::O1] {
+                let c = compile_nsc_with(&pure, &def.dom, level)
+                    .unwrap_or_else(|e| panic!("compiling {name} at {level:?}: {e}"));
+                assert_clean(&format!("{name} at {level:?}"), &c.program);
+            }
+        }
+        assert_eq!(seen, 5, "expected the five golden examples");
+    });
+}
+
+/// A compiled, verified program with one corrupted instruction must
+/// fail verification — and the report must name the corrupted pc and
+/// the invariant it breaks, or the diagnostic is useless for hunting
+/// miscompiles.
+#[test]
+fn mutation_is_caught_with_pc_and_invariant() {
+    let inc = a::lam("x", a::add(a::var("x"), a::nat(1)));
+    let clean = compile_nsc_with(&a::map(inc), &Type::seq(Type::Nat), OptLevel::O1)
+        .expect("compile map(+1)")
+        .program;
+    assert!(verify_program(&clean).clean(), "baseline must be clean");
+
+    // Miscompile 1: an operand outside the declared register file (a
+    // structural violation — the machine would panic indexing it).
+    let mut bad = clean.clone();
+    let pc = bad
+        .instrs
+        .iter()
+        .position(|i| matches!(i, Instr::Arith { .. }))
+        .expect("optimized kernel has an Arith");
+    let rogue = bad.n_regs as u32 + 7;
+    let Instr::Arith { a, .. } = &mut bad.instrs[pc] else {
+        unreachable!()
+    };
+    *a = rogue;
+    let report = verify_program(&bad);
+    assert!(!report.ok(), "out-of-bounds register must be a violation");
+    let text = report.to_string();
+    assert!(
+        text.contains(&format!("pc {pc}")) && text.contains(&format!("v{rogue}")),
+        "diagnostic must name the pc and the rogue register:\n{text}"
+    );
+
+    // Miscompile 2: a jump past one-past-the-end (a target *equal* to
+    // the length is a legal fall-off; one past it is malformed).
+    let mut bad = clean.clone();
+    let pc = bad.instrs.len();
+    bad.instrs.push(Instr::Goto {
+        target: pc as u32 + 7,
+    });
+    let report = verify_program(&bad);
+    assert!(!report.ok(), "out-of-range jump must be a violation");
+    let text = report.to_string();
+    assert!(
+        text.contains(&format!("pc {pc}")) && text.contains("past the program end"),
+        "diagnostic must name the pc and the invariant:\n{text}"
+    );
+
+    // Miscompile 3: a read of a register no path ever writes (the
+    // machine zero-clears, so this silently computes on garbage — the
+    // classic register-renaming bug a differential test can miss).
+    let mut bad = clean.clone();
+    let ghost = bad.n_regs as u32;
+    bad.n_regs += 1;
+    let pc = bad
+        .instrs
+        .iter()
+        .position(|i| matches!(i, Instr::Arith { .. }))
+        .expect("optimized kernel has an Arith");
+    let Instr::Arith { a, .. } = &mut bad.instrs[pc] else {
+        unreachable!()
+    };
+    *a = ghost;
+    let report = verify_program(&bad);
+    assert!(
+        report.ok() && !report.clean(),
+        "uninit read is a finding, not a structural violation:\n{report}"
+    );
+    assert!(
+        report.uninit_reads.contains(&(pc, ghost)),
+        "uninit read must be pinned to pc {pc}, register {ghost}:\n{report}"
+    );
+    assert!(
+        report.to_string().contains("uninit read"),
+        "rendered report must name the invariant"
+    );
+}

@@ -480,3 +480,99 @@ fn cli_reports_errors_with_nonzero_exit() {
         "check must reject run-only flags"
     );
 }
+
+// ---------------------------------------------------------------------------
+// `nsc lint` golden files and `nsc check --verify`.
+// ---------------------------------------------------------------------------
+
+fn lint_fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+/// Every lint fixture's `nsc lint` output must match its `.expected`
+/// golden byte-for-byte, and lints must not affect the exit status.
+#[test]
+fn cli_lint_matches_goldens() {
+    let bin = nsc_bin();
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(lint_fixture_dir())
+        .expect("tests/fixtures/lint directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "nsc").then_some(p)
+        })
+        .collect();
+    fixtures.sort();
+    assert_eq!(fixtures.len(), 3, "expected exactly three lint fixtures");
+    for path in fixtures {
+        let golden = std::fs::read_to_string(path.with_extension("expected"))
+            .unwrap_or_else(|e| panic!("missing golden for {}: {e}", path.display()));
+        let out = std::process::Command::new(&bin)
+            .arg("lint")
+            .arg(&path)
+            .output()
+            .expect("spawn nsc");
+        assert!(
+            out.status.success(),
+            "nsc lint {} must exit 0 even with warnings",
+            path.display()
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            golden,
+            "nsc lint {} diverged from its golden",
+            path.display()
+        );
+    }
+}
+
+/// `nsc check --verify` compiles every definition and runs the static
+/// verifier on the result; all shipped examples must come back clean,
+/// and lint warnings must stay on stderr so stdout remains exactly the
+/// signature listing.
+#[test]
+fn cli_check_verify_accepts_every_example() {
+    let bin = nsc_bin();
+    for (name, _) in golden() {
+        let out = std::process::Command::new(&bin)
+            .arg("check")
+            .arg(examples_src_dir().join(name))
+            .arg("--verify")
+            .output()
+            .expect("spawn nsc");
+        assert!(
+            out.status.success(),
+            "nsc check {name} --verify failed\n--- stderr ---\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for line in stdout.lines() {
+            assert!(
+                line.starts_with("fn "),
+                "nsc check {name} --verify: unexpected stdout line {line:?}"
+            );
+        }
+    }
+}
+
+/// Lint warnings ride along with `nsc check`, but on stderr: tooling
+/// that consumes the signature listing must not see them.
+#[test]
+fn cli_check_reports_lints_on_stderr() {
+    let bin = nsc_bin();
+    let path = lint_fixture_dir().join("unused_def.nsc");
+    let out = std::process::Command::new(&bin)
+        .arg("check")
+        .arg(&path)
+        .output()
+        .expect("spawn nsc");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("warning["),
+        "lint warnings leaked onto check's stdout:\n{stdout}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("warning[unused-def]"),
+        "check must surface lint warnings on stderr"
+    );
+}
