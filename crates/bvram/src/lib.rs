@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cost;
 pub mod exec;
 pub mod fuzz;
 pub mod instr;
@@ -28,9 +29,10 @@ pub mod program;
 pub mod verify;
 
 pub use analysis::StaticCost;
+pub use cost::{cost_program, CostBound, CostReport, Poly};
 pub use exec::{run_program, Machine, MachineError, RunOutcome, Stats, Vector};
 pub use instr::{Instr, Label, Op, Reg};
 pub use lanes::{run_lanes_rayon, run_lanes_seq};
 pub use par::ParMachine;
-pub use program::{BuildError, Builder, Program};
+pub use program::{BuildError, Builder, Program, TripBound, TripHint};
 pub use verify::{verify_program, verify_program_basic, FaultReason, FaultSite, Report, Violation};

@@ -20,6 +20,44 @@ pub struct Program {
     pub r_in: usize,
     /// Number of output registers (`V0 … V_{r_out - 1}`).
     pub r_out: usize,
+    /// Loop trip-count certificates emitted by a compiler (see
+    /// [`TripHint`]).  Metadata only: execution ignores them, the
+    /// symbolic cost analyzer ([`crate::cost`]) consumes them.  An empty
+    /// vector is always valid (every loop is then treated as unbounded).
+    pub trip_hints: Vec<TripHint>,
+}
+
+/// An upper bound on how many times a loop back edge is traversed per
+/// entry to the loop, in terms of the machine state *at loop entry*.
+///
+/// Soundness contract (on the emitter): on every run of the program
+/// that terminates successfully, the back edge executes at most this
+/// many times per loop entry.  Runs that fault or diverge are
+/// unconstrained — the cost analyzer only bounds successful runs,
+/// mirroring how [`crate::Stats`] are only produced on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripBound {
+    /// At most `n` traversals, independent of input.
+    Const(u64),
+    /// At most `len(reg) + add` traversals, where `len(reg)` is the
+    /// length of `reg` when control first enters the loop head.
+    Len {
+        /// The register whose entry length bounds the trip count.
+        reg: Reg,
+        /// Additive slack on top of the entry length.
+        add: u64,
+    },
+}
+
+/// A trip-count certificate: `pc` is the program counter of a loop's
+/// back-edge jump (`Goto`/`IfEmptyGoto`), `bound` caps how often that
+/// edge is traversed per loop entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripHint {
+    /// Program counter of the back-edge jump instruction.
+    pub pc: u32,
+    /// The traversal bound.
+    pub bound: TripBound,
 }
 
 impl fmt::Display for Program {
@@ -91,6 +129,7 @@ pub struct Builder {
     max_reg: Reg,
     r_in: usize,
     r_out: usize,
+    hints: Vec<TripHint>,
 }
 
 impl Builder {
@@ -127,6 +166,17 @@ impl Builder {
         if self.labels.insert(name.to_string(), at).is_some() {
             self.duplicates.push(name.to_string());
         }
+        self
+    }
+
+    /// Records a [`TripHint`] for the *next* appended instruction, which
+    /// must be the loop's back-edge jump.  Call immediately before the
+    /// [`Builder::goto`]/[`Builder::if_empty_goto`] that closes the loop.
+    pub fn trip_hint(&mut self, bound: TripBound) -> &mut Self {
+        self.hints.push(TripHint {
+            pc: self.instrs.len() as u32,
+            bound,
+        });
         self
     }
 
@@ -175,6 +225,7 @@ impl Builder {
             n_regs: self.max_reg as usize + 1,
             r_in: self.r_in,
             r_out: self.r_out,
+            trip_hints: self.hints,
         };
         // One source of truth for structural well-formedness: the
         // verifier's check.  The builder's own bookkeeping (register

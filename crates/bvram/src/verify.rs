@@ -477,26 +477,34 @@ pub fn run_forward<A: ForwardAnalysis>(prog: &Program, analysis: &A) -> BlockSta
     }
     let mut entry: Vec<Option<A::State>> = (0..nb).map(|_| None).collect();
     let mut changes = vec![0u32; nb];
-    let mut queued = vec![false; nb];
-    let mut work: Vec<usize> = Vec::new();
+    // Lowest block first: codegen emits blocks in program order, so this
+    // approximates reverse postorder — inner loops converge before their
+    // outer continuation is revisited, which keeps the visit count near
+    // linear where a LIFO stack re-propagates every inner wave.
+    let mut work: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     if nb > 0 {
         entry[0] = Some(analysis.entry_state(prog));
-        queued[0] = true;
-        work.push(0);
+        work.insert(0);
     }
-    while let Some(b) = work.pop() {
-        queued[b] = false;
-        let mut st = entry[b].clone().expect("queued blocks have entry states");
+    while let Some(b) = work.pop_first() {
+        let st0 = entry[b].clone().expect("queued blocks have entry states");
+        let mut st = Some(st0);
         let end = leaders.get(b + 1).copied().unwrap_or(n);
         for pc in leaders[b]..end {
-            analysis.transfer(pc, &prog.instrs[pc], &mut st);
+            analysis.transfer(pc, &prog.instrs[pc], st.as_mut().expect("state present"));
         }
         let last = end - 1;
-        for s in succ_edges(prog, last) {
-            if s >= n {
-                continue; // FellOffEnd: nothing downstream executes
-            }
-            let mut es = st.clone();
+        let succs: Vec<usize> = succ_edges(prog, last)
+            .into_iter()
+            .filter(|s| *s < n) // FellOffEnd: nothing downstream executes
+            .collect();
+        for (k, &s) in succs.iter().enumerate() {
+            // The last edge takes the state by move; earlier edges clone.
+            let mut es = if k + 1 == succs.len() {
+                st.take().expect("state present")
+            } else {
+                st.as_ref().expect("state present").clone()
+            };
             analysis.refine_edge(last, &prog.instrs[last], s, &mut es);
             let tb = block_of[s];
             let changed = match &mut entry[tb] {
@@ -512,10 +520,7 @@ pub fn run_forward<A: ForwardAnalysis>(prog: &Program, analysis: &A) -> BlockSta
                     let cur = entry[tb].as_mut().expect("changed blocks have states");
                     analysis.widen(cur);
                 }
-                if !queued[tb] {
-                    queued[tb] = true;
-                    work.push(tb);
-                }
+                work.insert(tb);
             }
         }
     }
@@ -1300,6 +1305,7 @@ mod tests {
             n_regs: 1,
             r_in: 0,
             r_out: 0,
+            trip_hints: vec![],
         };
         let r = verify_program(&p);
         assert!(!r.ok());
@@ -1329,6 +1335,7 @@ mod tests {
             n_regs: 2,
             r_in: 1,
             r_out: 1,
+            trip_hints: vec![],
         };
         let r = verify_program(&p);
         assert!(!r.ok());
@@ -1358,6 +1365,7 @@ mod tests {
             n_regs: 1,
             r_in: 0,
             r_out: 0,
+            trip_hints: vec![],
         };
         assert_eq!(check_structure(&p).len(), 1);
         let e = BuildError::Malformed(check_structure(&p)[0].to_string());

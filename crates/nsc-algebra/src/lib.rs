@@ -11,6 +11,8 @@
 
 pub mod nsa;
 pub mod sa;
+pub mod trip;
 
 pub use nsa::{apply as nsa_apply, Nsa};
 pub use sa::{apply_sa, Sa};
+pub use trip::{Step, Trip};

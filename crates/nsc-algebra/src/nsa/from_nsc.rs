@@ -19,7 +19,8 @@
 
 use super::build::*;
 use super::Nsa;
-use nsc_core::ast::{Func, FuncK, Ident, Term, TermK};
+use crate::trip::{Step, Trip};
+use nsc_core::ast::{ArithOp, CmpOp, Func, FuncK, Ident, Term, TermK};
 use nsc_core::error::TypeError;
 use nsc_core::value::Value;
 
@@ -144,14 +145,165 @@ fn trans_func(f: &Func, env: &EnvLayout) -> Result<Nsa, TypeError> {
         }
         FuncK::While(p, body) => {
             // State (x, Γ): predicate on the state, body preserves Γ.
+            // A trip certificate inferred on the source state re-roots
+            // under π₁ to address the same component of the NSA state.
+            let trip = source_while_trip(p, body).under(Step::P1);
             let p_f = trans_func(p, env)?;
             let b_f = trans_func(body, env)?;
-            Ok(comp(Nsa::Pi1, whilef(p_f, pair(b_f, Nsa::Pi2))))
+            Ok(comp(Nsa::Pi1, whilef_trip(p_f, pair(b_f, Nsa::Pi2), trip)))
         }
         FuncK::Named(n) => Err(TypeError::UnknownFunction(format!(
             "named function `{n}` must be translated away (Theorem 4.2) before NSA"
         ))),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Trip-count inference on source `while`s.
+//
+// Two syntactic termination patterns are recognized; anything else is
+// `Trip::Unknown` (always sound — the cost analyzer reports `⊤`).
+// Matching is alpha-insensitive: binder identity is tracked, never
+// compared against fixed names.
+// ---------------------------------------------------------------------------
+
+/// Unwraps a chain of projections around a variable:
+/// `snd(fst(x))` → `("x", [P1, P2])` (root-first path).
+fn proj_path(mut t: &Term) -> Option<(&str, Vec<Step>)> {
+    let mut rev = Vec::new();
+    loop {
+        match t.kind() {
+            TermK::Var(x) => {
+                rev.reverse();
+                return Some((x, rev));
+            }
+            TermK::Proj1(a) => {
+                rev.push(Step::P1);
+                t = a;
+            }
+            TermK::Proj2(a) => {
+                rev.push(Step::P2);
+                t = a;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Walks a syntactic `Pair` tree to the component a path addresses.
+fn component<'t>(mut t: &'t Term, path: &[Step]) -> Option<&'t Term> {
+    for s in path {
+        t = match (t.kind(), s) {
+            (TermK::Pair(a, _), Step::P1) => a,
+            (TermK::Pair(_, b), Step::P2) => b,
+            _ => return None,
+        };
+    }
+    Some(t)
+}
+
+/// `proj_path` matching a specific binder and path.
+fn is_proj_of(t: &Term, var: &str, path: &[Step]) -> bool {
+    proj_path(t).is_some_and(|(v, p)| v == var && p == path)
+}
+
+/// Recognizes the canonical one-element-shorter body the stdlib `tail`
+/// idiom produces:
+/// `flatten(map(λq. if fst(q) = 0 then [] else [snd(q)])(zip(enumerate(xs), xs)))`.
+/// Each application removes exactly the (unique) index-0 element, so the
+/// sequence length strictly decreases while it is nonempty.
+fn is_drop_head_body(t: &Term, xs: &str) -> bool {
+    let TermK::Flatten(inner) = t.kind() else {
+        return false;
+    };
+    let TermK::Apply(mf, arg) = inner.kind() else {
+        return false;
+    };
+    let TermK::Zip(e, x2) = arg.kind() else {
+        return false;
+    };
+    let ok_arg = matches!(e.kind(), TermK::Enumerate(x1) if is_proj_of(x1, xs, &[]))
+        && is_proj_of(x2, xs, &[]);
+    if !ok_arg {
+        return false;
+    }
+    let FuncK::Map(elem) = mf.kind() else {
+        return false;
+    };
+    let FuncK::Lambda(q, _, ct) = elem.kind() else {
+        return false;
+    };
+    let TermK::Case(scrut, _, nil, b2, one) = ct.kind() else {
+        return false;
+    };
+    let scrut_ok = matches!(
+        scrut.kind(),
+        TermK::Cmp(CmpOp::Eq, l, r)
+            if matches!(l.kind(), TermK::Proj1(v) if is_proj_of(v, q, &[]))
+                && matches!(r.kind(), TermK::Const(0))
+    );
+    let one_ok = b2 != q
+        && matches!(
+            one.kind(),
+            TermK::Singleton(s)
+                if matches!(s.kind(), TermK::Proj2(v) if is_proj_of(v, q, &[]))
+        );
+    scrut_ok && matches!(nil.kind(), TermK::Empty(_)) && one_ok
+}
+
+/// Infers a trip bound for the source loop `while(p, g)`.
+///
+/// * **Halving counter**: `p = λx. c < π(x)` and the `π` component of
+///   `g`'s body is `π(x) >> k` with `k ≥ 1`.  A `u64` halves to zero in
+///   64 steps, after which the guard fails: at most 65 trips.
+/// * **Shrinking sequence**: `p = λx. c < length(π(x))` and the `π`
+///   component of `g`'s body drops the head element
+///   ([`is_drop_head_body`]).  The length strictly decreases while the
+///   guard holds: at most `length(π(x₀)) + 1` trips.
+pub(crate) fn source_while_trip(p: &Func, g: &Func) -> Trip {
+    let (FuncK::Lambda(px, _, pb), FuncK::Lambda(gx, _, gb)) = (p.kind(), g.kind()) else {
+        return Trip::Unknown;
+    };
+    let TermK::Cmp(CmpOp::Lt, lhs, rhs) = pb.kind() else {
+        return Trip::Unknown;
+    };
+    if !matches!(lhs.kind(), TermK::Const(_)) {
+        return Trip::Unknown;
+    }
+    // Halving counter.
+    if let Some((v, path)) = proj_path(rhs) {
+        if v == &**px {
+            if let Some(c) = component(gb, &path) {
+                if matches!(
+                    c.kind(),
+                    TermK::Arith(ArithOp::Rshift, a, k)
+                        if is_proj_of(a, gx, &path)
+                            && matches!(k.kind(), TermK::Const(s) if *s >= 1)
+                ) {
+                    return Trip::Const(65);
+                }
+            }
+        }
+    }
+    // Shrinking sequence.
+    if let TermK::Length(seq) = rhs.kind() {
+        if let Some((v, path)) = proj_path(seq) {
+            if v == &**px {
+                if let Some(c) = component(gb, &path) {
+                    if let TermK::Apply(tf, arg) = c.kind() {
+                        if is_proj_of(arg, gx, &path) {
+                            if let FuncK::Lambda(xs, _, tb) = tf.kind() {
+                                if is_drop_head_body(tb, xs) {
+                                    return Trip::LenPath(path);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Trip::Unknown
 }
 
 #[cfg(test)]

@@ -52,8 +52,10 @@ pub enum Nsa {
     Arith(ArithOp),
     /// Comparison `= / ≤ / < : N × N → B`.
     Cmp(CmpOp),
-    /// `while(p, f) : t → t`.
-    While(Rc<Nsa>, Rc<Nsa>),
+    /// `while(p, f) : t → t`, carrying an optional trip-count
+    /// certificate (see [`crate::trip::Trip`]; evaluation ignores it).
+    /// Boxed to keep the enum small — translation recurses deeply.
+    While(Rc<Nsa>, Rc<Nsa>, Box<crate::trip::Trip>),
     /// `map(f) : [s] → [t]` — nested parallelism lives here.
     MapF(Rc<Nsa>),
     /// The empty sequence `∅ : unit → [t]`, annotated with the element type.
@@ -115,9 +117,14 @@ pub mod build {
         Nsa::MapF(Rc::new(f))
     }
 
-    /// `while(p, f)`.
+    /// `while(p, f)` with no trip certificate.
     pub fn whilef(p: Nsa, f: Nsa) -> Nsa {
-        Nsa::While(Rc::new(p), Rc::new(f))
+        whilef_trip(p, f, crate::trip::Trip::Unknown)
+    }
+
+    /// `while(p, f)` carrying a trip-count certificate.
+    pub fn whilef_trip(p: Nsa, f: Nsa, trip: crate::trip::Trip) -> Nsa {
+        Nsa::While(Rc::new(p), Rc::new(f), Box::new(trip))
     }
 
     /// `⟨π₂, π₁⟩` — swap.
@@ -221,7 +228,7 @@ pub fn apply_fueled(f: &Nsa, x: &Value, fuel: &mut u64) -> Result<(Value, Cost),
             },
             _ => Err(E::Stuck("cmp on non-pair")),
         },
-        Nsa::While(p, body) => {
+        Nsa::While(p, body, _) => {
             let mut cur = x.clone();
             let mut total = Cost::ZERO;
             loop {
@@ -385,7 +392,7 @@ impl fmt::Display for Nsa {
             Nsa::ConstNat(n) => write!(f, "const {n}"),
             Nsa::Arith(op) => write!(f, "{}", op.symbol()),
             Nsa::Cmp(op) => write!(f, "{}", op.symbol()),
-            Nsa::While(p, b) => write!(f, "while({p}, {b})"),
+            Nsa::While(p, b, _) => write!(f, "while({p}, {b})"),
             Nsa::MapF(g) => write!(f, "map({g})"),
             Nsa::EmptyF(_) => write!(f, "empty"),
             Nsa::SingletonF => write!(f, "singleton"),

@@ -301,7 +301,7 @@ pub fn compile(f: &Nsa, dom: &Type) -> Result<(Sa, Type), E> {
             comp(seq_bool(), comp(maps(Scalar::Cmp(*op)), Sa::ZipF)),
             Type::bool_(),
         )),
-        Nsa::While(p, body) => {
+        Nsa::While(p, body, trip) => {
             let (sp, pb) = compile(p, dom)?;
             if !pb.is_bool() {
                 return Err(stuck("compile while predicate"));
@@ -310,7 +310,11 @@ pub fn compile(f: &Nsa, dom: &Type) -> Result<(Sa, Type), E> {
             if &bc != dom {
                 return Err(stuck("compile while body type"));
             }
-            Ok((whilef(sp, sb_), dom.clone()))
+            // The trip certificate survives flattening as-is: `compile_type`
+            // preserves product structure, so a `LenPath` over the nested
+            // state type still resolves over the flat state type (the code
+            // generator walks it to a register-field offset).
+            Ok((whilef_trip(sp, sb_, (**trip).clone()), dom.clone()))
         }
         Nsa::MapF(g) => match dom {
             Type::Seq(e) => {

@@ -523,10 +523,15 @@ pub fn reorder_enc(t: &Type) -> Result<Sa, E> {
         )
     };
 
-    // run the loop from shift = 0, return the encoding
+    // run the loop from shift = 0, return the encoding.  Indices are
+    // u64 values, so after 64 single-bit passes `idx >> shift` is zero
+    // everywhere and the predicate fails: at most 65 trips.
     Ok(comp(
         comp(Sa::Pi2, Sa::Pi2),
-        comp(whilef(pred, body), pair(const_seq(0), Sa::Id)),
+        comp(
+            whilef_trip(pred, body, crate::trip::Trip::Const(65)),
+            pair(const_seq(0), Sa::Id),
+        ),
     ))
 }
 
@@ -796,7 +801,7 @@ pub fn seq_lift(f: &Sa, dom: &Type) -> Res {
             },
             _ => Err(stuck("seq_lift sbm_route domain")),
         },
-        Sa::While(p, g) => {
+        Sa::While(p, g, trip) => {
             let (sp, pb) = seq_lift(p, dom)?;
             if !pb.is_bool() {
                 return Err(stuck("seq_lift while predicate"));
@@ -805,7 +810,16 @@ pub fn seq_lift(f: &Sa, dom: &Type) -> Res {
             if &gc != dom {
                 return Err(stuck("seq_lift while body type"));
             }
-            seq_while(dom, sp, sg)
+            // A constant per-lane trip bound survives lifting: the
+            // lockstep loop runs until every lane finishes, i.e. for the
+            // maximum of the per-lane trip counts, still ≤ the constant.
+            // Length-based bounds refer to a single lane's state and do
+            // not transfer to the batched loop.
+            let lifted_trip = match &**trip {
+                crate::trip::Trip::Const(c) => crate::trip::Trip::Const(*c),
+                _ => crate::trip::Trip::Unknown,
+            };
+            seq_while(dom, sp, sg, lifted_trip)
         }
         Sa::PrefixSum => {
             // Segmented scan: global scan minus the broadcast segment-start
@@ -966,10 +980,10 @@ pub fn gather_sorted() -> Sa {
 /// [`reorder_enc`] restores global input order.
 /// The simple (unstaged) batched while, public for the EXP-L72 ablation.
 pub fn seq_while_simple(t: &Type, sp: Sa, sg: Sa) -> Res {
-    seq_while(t, sp, sg)
+    seq_while(t, sp, sg, crate::trip::Trip::Unknown)
 }
 
-pub(crate) fn seq_while(t: &Type, sp: Sa, sg: Sa) -> Res {
+pub(crate) fn seq_while(t: &Type, sp: Sa, sg: Sa, trip: crate::trip::Trip) -> Res {
     let act_idx = comp(Sa::Pi1, Sa::Pi1);
     let act = comp(Sa::Pi2, Sa::Pi1);
     let done_idx = comp(Sa::Pi1, Sa::Pi2);
@@ -1003,7 +1017,7 @@ pub(crate) fn seq_while(t: &Type, sp: Sa, sg: Sa) -> Res {
         pair(comp(Sa::EnumerateF, zeros_like(t)?), Sa::Id),
         pair(Sa::EmptyF(Type::Nat), empty_enc(t)?),
     );
-    let after = comp(whilef(pred, body), init);
+    let after = comp(whilef_trip(pred, body, trip), init);
     let result = comp(
         reorder_enc(t)?,
         pair(comp(Sa::Pi1, Sa::Pi2), comp(Sa::Pi2, Sa::Pi2)),
@@ -1461,7 +1475,8 @@ mod staged_tests {
         ));
         let (sp, _) = seq_lift(&p, &t).unwrap();
         let (sg, _) = seq_lift(&g, &t).unwrap();
-        let (simple, _) = super::seq_while(&t, sp.clone(), sg.clone()).unwrap();
+        let (simple, _) =
+            super::seq_while(&t, sp.clone(), sg.clone(), crate::trip::Trip::Unknown).unwrap();
         let (staged, _) = seq_while_staged(&t, sp, sg, 2).unwrap();
         for (fatlen, rounds) in [(60u64, 200u64), (60, 800), (200, 800), (60, 3000)] {
             let batch: Vec<Value> = (0..16u64)
@@ -1529,7 +1544,8 @@ mod staged_tests {
             })
             .collect();
         let enc = encode_batch(&batch, &t).unwrap();
-        let (simple, _) = super::seq_while(&t, sp.clone(), sg.clone()).unwrap();
+        let (simple, _) =
+            super::seq_while(&t, sp.clone(), sg.clone(), crate::trip::Trip::Unknown).unwrap();
         let (staged, _) = seq_while_staged(&t, sp, sg, 2).unwrap();
         let (o1, c_simple) = apply_sa(&simple, &enc).unwrap();
         let (o2, c_staged) = apply_sa(&staged, &enc).unwrap();

@@ -79,8 +79,10 @@ pub enum Sa {
     BmRouteF,
     /// `sbm_route : ([s] × [N]) × ([s'] × [N]) → [s']`.
     SbmRouteF,
-    /// `while(p, f) : t → t`.
-    While(Rc<Sa>, Rc<Sa>),
+    /// `while(p, f) : t → t`, carrying an optional trip-count
+    /// certificate (see [`crate::trip::Trip`]; evaluation ignores it).
+    /// Boxed to keep the enum small — translation recurses deeply.
+    While(Rc<Sa>, Rc<Sa>, Box<crate::trip::Trip>),
     /// Derived: inclusive prefix sums `[N] → [N]` (see module docs).
     PrefixSum,
 }
@@ -111,9 +113,14 @@ pub mod b {
         Sa::SumCase(Rc::new(f), Rc::new(g))
     }
 
-    /// `while(p, f)`.
+    /// `while(p, f)` with no trip certificate.
     pub fn whilef(p: Sa, f: Sa) -> Sa {
-        Sa::While(Rc::new(p), Rc::new(f))
+        whilef_trip(p, f, crate::trip::Trip::Unknown)
+    }
+
+    /// `while(p, f)` carrying a trip-count certificate.
+    pub fn whilef_trip(p: Sa, f: Sa, trip: crate::trip::Trip) -> Sa {
+        Sa::While(Rc::new(p), Rc::new(f), Box::new(trip))
     }
 
     /// `map(φ)`.
@@ -380,7 +387,7 @@ pub fn apply_sa_fueled(f: &Sa, x: &Value, fuel: &mut u64) -> Result<(Value, Cost
             let out = Value::seq(out);
             Ok((out.clone(), local(x, &out)))
         }
-        Sa::While(p, body) => {
+        Sa::While(p, body, _) => {
             let mut cur = x.clone();
             let mut total = Cost::ZERO;
             loop {
@@ -455,7 +462,7 @@ impl fmt::Display for Sa {
             Sa::EnumerateF => write!(f, "enumerate"),
             Sa::BmRouteF => write!(f, "bm_route"),
             Sa::SbmRouteF => write!(f, "sbm_route"),
-            Sa::While(p, b) => write!(f, "while({p}, {b})"),
+            Sa::While(p, b, _) => write!(f, "while({p}, {b})"),
             Sa::PrefixSum => write!(f, "prefix_sum"),
         }
     }

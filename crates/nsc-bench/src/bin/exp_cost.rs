@@ -1,0 +1,5 @@
+//! EXP-COST: the symbolic cost analyzer's time budget on cached kernels.
+
+fn main() {
+    nsc_bench::exp_cost();
+}

@@ -311,6 +311,84 @@ pub fn exp_batch() {
     );
 }
 
+/// EXP-COST — the symbolic cost analyzer's own budget.  `cost_program`
+/// runs at every cache insert (once for the single program, once for the
+/// pack kernel), so it must stay interactive even on the largest kernel
+/// the cache ever holds — the while-heavy `sum` workload's `map(f)`
+/// kernel, which blows past [`nsc_runtime::KERNEL_OPT_BUDGET`] and ships
+/// at full unoptimized size.  Re-analyzes every cached artifact of the
+/// shared suite, timing each run, and asserts the slowest pack-kernel
+/// analysis finishes under 2 s; the scalar-map kernels (the ones pack
+/// actually wins on) must additionally carry finite (non-`⊤`) bounds, or
+/// plan selection degrades to the size heuristic.
+pub fn exp_cost() {
+    println!("\n## EXP-COST: symbolic cost analyzer budget\n");
+    println!("claim: analyzing the largest cached pack kernel stays under 2s\n");
+    use nsc_compile::{Backend, OptLevel};
+    use nsc_runtime::{BatchRunner, CompiledCache};
+    header(&[
+        "program",
+        "artifact",
+        "instrs",
+        "analysis ms",
+        "finite",
+        "T' bound",
+    ]);
+    let cache = CompiledCache::new();
+    let mut slowest_kernel = (0.0f64, "");
+    let mut finite_maps = 0usize;
+    let mut scalar_maps = 0usize;
+    for (name, f) in t71_suite() {
+        let dom = Type::seq(Type::Nat);
+        let runner =
+            BatchRunner::from_cache(&cache, &f, &dom, OptLevel::O1, Backend::Seq).expect(name);
+        let entry = runner.cached();
+        for (what, art) in [("single", &entry.single), ("pack", &entry.batch)] {
+            let t0 = std::time::Instant::now();
+            let report = bvram::cost_program(&art.program);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                report.is_finite(),
+                art.cost.is_finite(),
+                "{name}/{what}: re-analysis disagrees with the cached certificate"
+            );
+            if what == "pack" && ms > slowest_kernel.0 {
+                slowest_kernel = (ms, name);
+            }
+            if what == "pack" && art.program.instrs.len() <= nsc_runtime::KERNEL_OPT_BUDGET {
+                scalar_maps += 1;
+                if report.is_finite() {
+                    finite_maps += 1;
+                }
+            }
+            row(&[
+                name.to_string(),
+                what.to_string(),
+                art.program.instrs.len().to_string(),
+                format!("{ms:.1}"),
+                report.is_finite().to_string(),
+                format!("{}", report.time),
+            ]);
+        }
+    }
+    println!(
+        "\nslowest pack-kernel analysis: {} at {:.1}ms",
+        slowest_kernel.1, slowest_kernel.0
+    );
+    assert!(
+        slowest_kernel.0 < 2000.0,
+        "cost analysis of the largest cached pack kernel must stay under 2s \
+         ({} took {:.1}ms)",
+        slowest_kernel.1,
+        slowest_kernel.0
+    );
+    assert!(
+        finite_maps == scalar_maps && scalar_maps > 0,
+        "every in-budget pack kernel must carry a finite bound \
+         ({finite_maps}/{scalar_maps} finite)"
+    );
+}
+
 /// EXP-P21 — Proposition 2.1: each BVRAM instruction class runs in
 /// `O(log n)` butterfly steps with oblivious (congestion-1) routing.
 pub fn exp_p21() {
@@ -730,6 +808,7 @@ pub fn run_all() {
     exp_t71();
     exp_opt();
     exp_batch();
+    exp_cost();
     exp_serve();
     exp_p21();
     exp_p32();

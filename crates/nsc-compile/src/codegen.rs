@@ -18,9 +18,10 @@
 //! register count is independent of ε.
 
 use crate::layout::{reg_count, scalar_fields, PAD};
-use bvram::{Builder, Instr, Op, Program, Reg};
+use bvram::{Builder, Instr, Op, Program, Reg, TripBound};
 use nsc_algebra::sa::scalar::Scalar;
 use nsc_algebra::sa::Sa;
+use nsc_algebra::trip::{Step, Trip};
 use nsc_core::ast::{ArithOp, CmpOp};
 use nsc_core::error::EvalError as E;
 use nsc_core::types::Type;
@@ -607,7 +608,7 @@ fn gen_sa(g: &mut Gen, f: &Sa, ins: &[Reg], dom: &Type) -> Result<(Vec<Reg>, Typ
             },
             _ => Err(stuck("gen sbm_route domain")),
         },
-        Sa::While(p, body) => {
+        Sa::While(p, body, trip) => {
             // Stable state registers; predicate tag gates the loop.
             let state: Vec<Reg> = (0..ins.len()).map(|_| g.alloc()).collect();
             for (s, i) in state.iter().zip(ins) {
@@ -632,6 +633,9 @@ fn gen_sa(g: &mut Gen, f: &Sa, ins: &[Reg], dom: &Type) -> Result<(Vec<Reg>, Typ
             }
             for (s, r) in state.iter().zip(&bres) {
                 g.emit(Instr::Move { dst: *s, src: *r });
+            }
+            if let Some(bound) = resolve_trip(trip, &state, dom) {
+                g.b.trip_hint(bound);
             }
             g.b.goto(&l_start);
             g.b.label(&l_end);
@@ -700,9 +704,47 @@ fn gen_sa(g: &mut Gen, f: &Sa, ins: &[Reg], dom: &Type) -> Result<(Vec<Reg>, Typ
                 b: d,
             });
             g.emit(Instr::Move { dst: d, src: d2 });
+            // Recursive doubling: d = 1, 2, 4, … < n ≤ u64::MAX, so the
+            // back edge runs at most 64 times (65 with slack).
+            g.b.trip_hint(TripBound::Const(65));
             g.b.goto(&l_start);
             g.b.label(&l_end);
             Ok((vec![y], Type::seq(Type::Nat)))
+        }
+    }
+}
+
+/// Resolves a loop's trip certificate against its state registers.
+///
+/// A `LenPath` walks the *flat* state type (products only — the
+/// flattening translation preserves product structure) to the register
+/// block of the addressed component; the first register of any sequence
+/// encoding has length exactly the source sequence's length, so that
+/// register's entry length bounds the trips.
+fn resolve_trip(trip: &Trip, state: &[Reg], dom: &Type) -> Option<TripBound> {
+    match trip {
+        Trip::Unknown => None,
+        Trip::Const(c) => Some(TripBound::Const(*c)),
+        Trip::LenField(i) => state.get(*i).map(|r| TripBound::Len { reg: *r, add: 1 }),
+        Trip::LenPath(path) => {
+            let mut ty = dom;
+            let mut off = 0usize;
+            for s in path {
+                let Type::Prod(l, r) = ty else {
+                    return None;
+                };
+                match s {
+                    Step::P1 => ty = l,
+                    Step::P2 => {
+                        off += reg_count(l);
+                        ty = r;
+                    }
+                }
+            }
+            if reg_count(ty) == 0 {
+                return None;
+            }
+            state.get(off).map(|r| TripBound::Len { reg: *r, add: 1 })
         }
     }
 }

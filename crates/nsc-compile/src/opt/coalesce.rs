@@ -119,6 +119,24 @@ pub fn coalesce_moves(prog: &mut Program) -> bool {
             }
         }
     }
+    // A length-relative trip certificate reads its register at loop
+    // entry: model that as a phantom read at the top of the loop-head
+    // block (the back edge's target), so the register stays live across
+    // the loop and nothing merges over its certified value.
+    for h in &prog.trip_hints {
+        if let bvram::TripBound::Len { reg, .. } = h.bound {
+            if let Some(c) = cand(reg) {
+                if let Some(Instr::Goto { target } | Instr::IfEmptyGoto { target, .. }) =
+                    prog.instrs.get(h.pc as usize)
+                {
+                    let t = *target as usize;
+                    if t < n {
+                        gen[block_of[t]].insert(c);
+                    }
+                }
+            }
+        }
+    }
     // Predecessor-driven worklist fixpoint: a block is revisited only
     // when a successor's live-in grows.
     // A jump target may legally point one past the end (the run faults
@@ -221,6 +239,16 @@ pub fn coalesce_moves(prog: &mut Program) -> bool {
     for (c, &r) in reg_of.iter().enumerate() {
         if (r as usize) < prog.r_in.max(prog.r_out) || entry_live.contains(c as u32) {
             pinned[c] = true;
+        }
+    }
+    // Registers named by length-relative trip certificates must keep
+    // their names (a pinned candidate is always its group's
+    // representative, so the certificate stays valid after renaming).
+    for h in &prog.trip_hints {
+        if let bvram::TripBound::Len { reg, .. } = h.bound {
+            if let Some(c) = cand(reg) {
+                pinned[c as usize] = true;
+            }
         }
     }
     for r in 0..prog.r_in as Reg {

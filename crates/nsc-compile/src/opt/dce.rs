@@ -35,6 +35,14 @@ pub fn eliminate_dead(prog: &mut Program) -> bool {
             defs[d as usize].push(i);
         }
     }
+    // A length-relative trip certificate reads its register at loop
+    // entry: treat that as a use, or the defining chain would be deleted
+    // and the certificate would silently bound by an empty vector.
+    for h in &prog.trip_hints {
+        if let bvram::TripBound::Len { reg, .. } = h.bound {
+            uses[reg as usize] += 1;
+        }
+    }
     let mut deleted = vec![false; n];
     let mut worklist: Vec<usize> = (prog.r_out..prog.n_regs)
         .filter(|r| uses[*r] == 0)

@@ -33,7 +33,7 @@ pub mod jumps;
 pub mod local;
 
 use bvram::verify::{verify_program_basic, Report};
-use bvram::{Instr, Program};
+use bvram::{cost_program, CostBound, CostReport, Instr, Program};
 use std::fmt;
 
 /// How hard [`optimize`] works.
@@ -148,6 +148,64 @@ fn check_stage(pass: &'static str, prog: &Program, base: Baseline) -> Result<(),
 /// this is a defensive bound, not a tuning knob).
 const MAX_ROUNDS: usize = 8;
 
+/// Instruction-count ceiling for the per-pass cost-regression check:
+/// symbolic cost analysis of a large kernel costs more than the pass
+/// pipeline itself, so verified builds only cross-check `T'`/`W'`
+/// bounds on programs this size or smaller.
+const COST_CHECK_MAX_INSTRS: usize = 4096;
+
+/// Deterministic sample grid for comparing two parametric bounds:
+/// uniform lengths at several scales plus one asymmetric point.
+fn cost_samples(n_syms: usize) -> Vec<Vec<u64>> {
+    let mut grid: Vec<Vec<u64>> = [0u64, 1, 2, 3, 8, 64, 1000]
+        .iter()
+        .map(|&k| vec![k; n_syms])
+        .collect();
+    grid.push((0..n_syms).map(|i| 7 * (i as u64 + 1)).collect());
+    grid
+}
+
+/// Checks that `post` does not exceed `pre` — the pass contract says
+/// `T'` and `W'` are non-increasing, so the *derived bounds* must not
+/// grow either.  Polynomials are compared on [`cost_samples`] (exact
+/// coefficient dominance is too strict: passes legitimately move cost
+/// between monomials); a finite bound widening to `⊤` always fails.
+fn check_cost_regression(
+    pass: &'static str,
+    pre: &CostReport,
+    post: &CostReport,
+) -> Result<(), PassError> {
+    let grid = cost_samples(pre.n_syms);
+    for (what, b_pre, b_post) in [("T'", &pre.time, &post.time), ("W'", &pre.work, &post.work)] {
+        match (b_pre, b_post) {
+            (CostBound::Top { .. }, _) => {} // was unbounded: nothing to regress
+            (CostBound::Poly(_), CostBound::Top { pc, reason }) => {
+                return Err(PassError {
+                    pass,
+                    detail: format!(
+                        "{what} bound widened from a polynomial to ⊤ (pc {pc}: {reason})"
+                    ),
+                });
+            }
+            (CostBound::Poly(p), CostBound::Poly(q)) => {
+                for lens in &grid {
+                    let (a, b) = (p.eval(lens), q.eval(lens));
+                    if b > a {
+                        return Err(PassError {
+                            pass,
+                            detail: format!(
+                                "{what} bound increased at input lengths {lens:?}: {a} -> {b} \
+                                 (before: {p}, after: {q})"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Optimizes a compiled BVRAM program.  Semantics-preserving and
 /// cost-non-increasing; see the module docs for the pass list.  Takes
 /// the program by value (compiled programs reach millions of
@@ -195,17 +253,37 @@ pub fn optimize_checked(
             Ok(())
         }
     };
+    // Cost-regression validation: snapshot the symbolic `T'`/`W'` bounds
+    // of the input and require every pass to keep them non-increasing.
+    let mut prev_cost: Option<CostReport> =
+        (verify.enabled() && p.instrs.len() <= COST_CHECK_MAX_INSTRS).then(|| cost_program(&p));
+    fn advance_cost(
+        pass: &'static str,
+        p: &Program,
+        prev: &mut Option<CostReport>,
+    ) -> Result<(), PassError> {
+        if let Some(pre) = prev {
+            let post = cost_program(p);
+            check_cost_regression(pass, pre, &post)?;
+            *prev = Some(post);
+        }
+        Ok(())
+    }
     for round in 0..MAX_ROUNDS {
         let before = p.instrs.len();
         let mut changed = false;
         changed |= local::propagate_and_number(&mut p);
         check(local::NAME, &p)?;
+        advance_cost(local::NAME, &p, &mut prev_cost)?;
         changed |= jumps::thread_jumps(&mut p);
         check(jumps::NAME, &p)?;
+        advance_cost(jumps::NAME, &p, &mut prev_cost)?;
         changed |= dce::eliminate_dead(&mut p);
         check(dce::NAME, &p)?;
+        advance_cost(dce::NAME, &p, &mut prev_cost)?;
         changed |= coalesce::coalesce_moves(&mut p);
         check(coalesce::NAME, &p)?;
+        advance_cost(coalesce::NAME, &p, &mut prev_cost)?;
         if !changed {
             break;
         }
@@ -217,6 +295,7 @@ pub fn optimize_checked(
     }
     compact_registers(&mut p);
     check(COMPACT_NAME, &p)?;
+    advance_cost(COMPACT_NAME, &p, &mut prev_cost)?;
     Ok(p)
 }
 
@@ -252,6 +331,17 @@ pub(crate) fn remove_marked(prog: &mut Program, delete: &[bool]) -> bool {
             ins
         })
         .collect();
+    // Trip certificates are anchored to back-edge pcs: remap them with the
+    // jump targets, and drop any whose anchor instruction was itself
+    // removed (its loop is gone or unreachable).
+    prog.trip_hints.retain_mut(|h| {
+        let pc = h.pc as usize;
+        if pc >= n || delete[pc] {
+            return false;
+        }
+        h.pc = new_index[pc];
+        true
+    });
     true
 }
 
@@ -292,6 +382,19 @@ pub fn compact_registers(prog: &mut Program) -> bool {
     for ins in prog.instrs.iter_mut() {
         ins.rename_regs(|r| map[r as usize]);
     }
+    // Length-relative trip certificates name a register; rename it with
+    // the rest (an unused hint register means the loop body no longer
+    // reads it — the certificate is stale, so drop it).
+    prog.trip_hints.retain_mut(|h| {
+        if let bvram::TripBound::Len { reg, .. } = &mut h.bound {
+            let m = map[*reg as usize];
+            if m == u32::MAX {
+                return false;
+            }
+            *reg = m;
+        }
+        true
+    });
     prog.n_regs = new_n;
     true
 }
@@ -456,6 +559,76 @@ mod tests {
         let p = b.build().unwrap();
         check_optimized(&p, &[vec![4, 5]]); // halts normally
         check_optimized(&p, &[vec![]]); // branch taken: falls off the end
+    }
+
+    #[test]
+    fn cost_pessimizing_mutant_pass_is_caught_by_name() {
+        // A mutant pass that pads the program with redundant vector work:
+        // the structural verifier accepts the result (it is well-formed
+        // and semantics-preserving), so only the cost-regression check
+        // can object — and it must name the offending pass, like every
+        // other translation-validation failure.  `NSC_VERIFY=1` arms the
+        // same check for whole compilations via `VerifyLevel::from_env`.
+        let mut b = Builder::new(1, 1);
+        b.push(Enumerate { dst: 1, src: 0 })
+            .push(Move { dst: 0, src: 1 })
+            .push(Halt);
+        let p = b.build().unwrap();
+        let pre = cost_program(&p);
+        let mut mutated = p.clone();
+        let halt = mutated.instrs.pop().unwrap();
+        mutated.instrs.push(Append { dst: 2, a: 0, b: 0 });
+        mutated.instrs.push(halt);
+        mutated.n_regs = mutated.n_regs.max(3);
+        let post = cost_program(&mutated);
+        let err = check_cost_regression("mutant_pad_work", &pre, &post).unwrap_err();
+        assert_eq!(err.pass, "mutant_pad_work");
+        assert!(err.to_string().contains("increased"), "{err}");
+
+        // The genuine pipeline under full validation stays clean and
+        // keeps the bounds finite.
+        let opt = optimize_checked(p, OptLevel::O1, VerifyLevel::Full, "input").unwrap();
+        assert!(cost_program(&opt).is_finite());
+    }
+
+    #[test]
+    fn trip_hints_survive_optimization() {
+        use bvram::TripBound;
+        // A length-hinted shrinking loop: the optimizer deletes staging
+        // moves and renumbers pcs/registers, and the certificate must
+        // follow along — the optimized program still gets a finite,
+        // sound bound.
+        let mut b = Builder::new(1, 1);
+        b.label("loop")
+            .if_empty_goto(0, "done")
+            .push(Enumerate { dst: 1, src: 0 })
+            .push(Select { dst: 2, src: 1 })
+            .push(Move { dst: 0, src: 2 })
+            .trip_hint(TripBound::Len { reg: 0, add: 1 })
+            .goto("loop")
+            .label("done")
+            .push(Halt);
+        let p = b.build().unwrap();
+        assert!(cost_program(&p).is_finite());
+        let opt = optimize_checked(p.clone(), OptLevel::O1, VerifyLevel::Full, "input").unwrap();
+        assert_eq!(opt.trip_hints.len(), 1, "certificate lost: {opt}");
+        let hint = &opt.trip_hints[0];
+        assert!(
+            matches!(
+                opt.instrs[hint.pc as usize],
+                Goto { .. } | IfEmptyGoto { .. }
+            ),
+            "hint pc must still anchor the back edge: {opt}"
+        );
+        let r = cost_program(&opt);
+        assert!(r.is_finite(), "{r}");
+        for n in [0usize, 1, 4, 9] {
+            let input: Vector = (0..n as u64).collect();
+            let out = run_program(&opt, &[input]).unwrap();
+            let lens = [n as u64];
+            assert!(out.stats.time <= r.time.eval(&lens).unwrap());
+            assert!(out.stats.work <= r.work.eval(&lens).unwrap());
+        }
     }
 
     #[test]

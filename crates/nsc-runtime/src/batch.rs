@@ -16,14 +16,19 @@
 //!   overhead and no cross-request coupling, but every request pays the
 //!   full per-run `T'`.
 //!
-//! **Decision rule** (see [`BatchRunner::choose_mode`]): pack when the
-//! statically predicted per-request `W'` is at most
-//! [`PACK_WORK_CUTOFF`] — such requests are dispatch-bound, and fusing
-//! amortizes the instruction stream across the batch — otherwise lanes,
-//! because data-bound requests saturate the hardware on their own and
-//! pack's fused control flow would couple every request to the slowest
-//! one (a compiled `while` runs all lanes until the deepest lane
-//! finishes).
+//! **Decision rule** (see [`BatchRunner::plan`]): evaluate the cached
+//! program's *symbolic* work bound ([`bvram::CostReport`], derived once
+//! at cache insert) at each request's actual register lengths, and pack
+//! when the mean predicted per-request `W'` is at most the cutoff
+//! ([`PACK_WORK_CUTOFF`], overridable via the [`PACK_CUTOFF_ENV`]
+//! environment escape hatch) — such requests are dispatch-bound, and
+//! fusing amortizes the instruction stream across the batch — otherwise
+//! lanes, because data-bound requests saturate the hardware on their own
+//! and pack's fused control flow would couple every request to the
+//! slowest one (a compiled `while` runs all lanes until the deepest lane
+//! finishes).  When the bound is `⊤` (the analyzer could not certify a
+//! finite polynomial), the decision falls back to the input-size
+//! heuristic of [`bvram::StaticCost`].
 //!
 //! **Fault semantics.** Results are per request and bit-identical to a
 //! loop of single runs, including error classification (`Ω` vs compiler
@@ -34,7 +39,9 @@
 //! whether the fused run was used).
 
 use crate::cache::{CachedProgram, CompiledCache};
-use nsc_compile::pipeline::{decode_result, encode_arg, eval_error_of, run_program_on};
+use nsc_compile::pipeline::{
+    arg_register_lengths, decode_result, encode_arg, eval_error_of, run_program_on,
+};
 use nsc_compile::{Backend, OptLevel};
 use nsc_core::cost::Cost;
 use nsc_core::error::EvalError;
@@ -72,6 +79,30 @@ impl BatchMode {
 /// thousands of register elements) matters, the exact value does not.
 pub const PACK_WORK_CUTOFF: u64 = 1 << 17;
 
+/// Environment variable overriding [`PACK_WORK_CUTOFF`] — the operator
+/// escape hatch when the symbolic cost model picks badly for a workload
+/// (set it to `0` to force lanes, to a huge value to force pack).
+pub const PACK_CUTOFF_ENV: &str = "NSC_PACK_CUTOFF";
+
+fn pack_cutoff() -> u64 {
+    std::env::var(PACK_CUTOFF_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(PACK_WORK_CUTOFF)
+}
+
+/// The cost model's decision for one batch (see [`BatchRunner::plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Plan {
+    /// The chosen discipline.
+    pub mode: BatchMode,
+    /// Mean predicted per-request `W'` — the symbolic work bound
+    /// evaluated at each request's actual register lengths.  `None` when
+    /// the bound is `⊤` (or a request does not fit the domain), in which
+    /// case the scalar [`bvram::StaticCost`] heuristic made the call.
+    pub predicted_work: Option<u64>,
+}
+
 /// What a batch run returns.
 #[derive(Debug)]
 pub struct BatchOutcome {
@@ -84,6 +115,10 @@ pub struct BatchOutcome {
     /// `false` under [`BatchMode::Lanes`], and under [`BatchMode::Pack`]
     /// when a fault forced the per-request fallback.
     pub fused: bool,
+    /// The mean predicted per-request `W'` that drove the mode choice
+    /// (see [`Plan::predicted_work`]).  `None` under an explicitly
+    /// forced mode or when the symbolic bound was `⊤`.
+    pub predicted_work: Option<u64>,
     /// Aggregate machine cost: the fused run's `(T', W')` under pack,
     /// and the parallel composition (`T' = max`, `W' = Σ`) under lanes
     /// (including pack's per-request fallback, which replays through the
@@ -164,23 +199,71 @@ impl BatchRunner {
         Ok((val, Cost::new(out.stats.time, out.stats.work)))
     }
 
-    /// The cost model's pick for this batch: pack iff the predicted
-    /// per-request `W'` (at the batch's mean input size) is at most
-    /// [`PACK_WORK_CUTOFF`].  See the module docs for why.
-    pub fn choose_mode(&self, inputs: &[Value]) -> BatchMode {
+    /// Predicted `W'` for one request: the single-request program's
+    /// symbolic work bound evaluated at the request's actual register
+    /// lengths.  `None` when the bound is `⊤` or the value does not fit
+    /// the domain.
+    pub fn predict_work(&self, input: &Value) -> Option<u64> {
+        let lens = arg_register_lengths(input, &self.dom).ok()?;
+        self.cached.single.cost.work.eval(&lens)
+    }
+
+    /// The cost model's pick for this batch: pack iff the mean predicted
+    /// per-request `W'` — the symbolic bound evaluated at each request's
+    /// actual register lengths — is at most the cutoff
+    /// ([`PACK_WORK_CUTOFF`], or [`PACK_CUTOFF_ENV`] if set).  A `⊤`
+    /// bound falls back to the input-size heuristic of
+    /// [`bvram::StaticCost`].  See the module docs for why.
+    pub fn plan(&self, inputs: &[Value]) -> Plan {
+        let cutoff = pack_cutoff();
         let b = inputs.len().max(1) as u64;
-        let mean_size = inputs.iter().map(Value::size).sum::<u64>() / b;
-        if self.cached.single.stat.predict_work(mean_size) <= PACK_WORK_CUTOFF {
-            BatchMode::Pack
+        let mut sum: u128 = 0;
+        let mut bounded = true;
+        for v in inputs {
+            match self.predict_work(v) {
+                Some(w) => sum += u128::from(w),
+                None => {
+                    bounded = false;
+                    break;
+                }
+            }
+        }
+        if bounded {
+            let mean = u64::try_from(sum / u128::from(b)).unwrap_or(u64::MAX);
+            Plan {
+                mode: if mean <= cutoff {
+                    BatchMode::Pack
+                } else {
+                    BatchMode::Lanes
+                },
+                predicted_work: Some(mean),
+            }
         } else {
-            BatchMode::Lanes
+            let mean_size = inputs.iter().map(Value::size).sum::<u64>() / b;
+            Plan {
+                mode: if self.cached.single.stat.predict_work(mean_size) <= cutoff {
+                    BatchMode::Pack
+                } else {
+                    BatchMode::Lanes
+                },
+                predicted_work: None,
+            }
         }
     }
 
+    /// The mode component of [`BatchRunner::plan`].
+    pub fn choose_mode(&self, inputs: &[Value]) -> BatchMode {
+        self.plan(inputs).mode
+    }
+
     /// Runs `B` independent requests, choosing the mode via
-    /// [`BatchRunner::choose_mode`].
+    /// [`BatchRunner::plan`]; the outcome records the predicted `W'`
+    /// that drove the choice.
     pub fn run_batch(&self, inputs: &[Value]) -> BatchOutcome {
-        self.run_batch_mode(inputs, self.choose_mode(inputs))
+        let plan = self.plan(inputs);
+        let mut out = self.run_batch_mode(inputs, plan.mode);
+        out.predicted_work = plan.predicted_work;
+        out
     }
 
     /// Runs `B` independent requests under an explicit mode.
@@ -211,6 +294,7 @@ impl BatchRunner {
                 results: items.into_iter().map(Ok).collect(),
                 mode: BatchMode::Pack,
                 fused: true,
+                predicted_work: None,
                 cost,
             },
             // Some lane faulted (or failed to encode): the fused run
@@ -262,6 +346,7 @@ impl BatchRunner {
                 .collect(),
             mode: BatchMode::Lanes,
             fused: false,
+            predicted_work: None,
             cost,
         }
     }
@@ -356,15 +441,44 @@ mod tests {
         let f = a::map(a::lam("x", a::add(a::var("x"), a::nat(1))));
         let r = runner(f, Type::seq(Type::Nat), Backend::Seq);
         let small: Vec<Value> = (0..8).map(|_| Value::nat_seq(0..4)).collect();
-        assert_eq!(r.choose_mode(&small), BatchMode::Pack);
-        let stat = r.cached().single.stat;
-        // Find a size the predictor maps above the cutoff and check the
-        // rule flips (the rule, not a particular threshold, is the API).
+        let plan = r.plan(&small);
+        assert_eq!(plan.mode, BatchMode::Pack);
+        let cost = &r.cached().single.cost;
+        assert!(cost.is_finite(), "map(+1) has a polynomial bound: {cost}");
+        // Find a size the symbolic bound maps above the cutoff and check
+        // the rule flips (the rule, not a threshold, is the API).
+        let n_syms = cost.n_syms;
         let mut n = 1u64 << 10;
-        while stat.predict_work(n) <= PACK_WORK_CUTOFF {
+        while cost.work.eval(&vec![n; n_syms]).unwrap() <= PACK_WORK_CUTOFF {
             n *= 2;
         }
         let big: Vec<Value> = (0..2).map(|_| Value::nat_seq(0..n)).collect();
-        assert_eq!(r.choose_mode(&big), BatchMode::Lanes);
+        let plan = r.plan(&big);
+        assert_eq!(plan.mode, BatchMode::Lanes);
+        assert!(plan.predicted_work.unwrap() > PACK_WORK_CUTOFF);
+    }
+
+    #[test]
+    fn predicted_work_bounds_measured_work() {
+        // The certificate's whole point: predicted W' at the actual
+        // request lengths is an upper bound on the measured per-request
+        // Stats work, and the batch outcome reports the prediction.
+        let f = a::map(a::lam(
+            "x",
+            a::add(a::mul(a::var("x"), a::var("x")), a::nat(1)),
+        ));
+        let r = runner(f, Type::seq(Type::Nat), Backend::Seq);
+        let inputs: Vec<Value> = (0..6u64).map(|i| Value::nat_seq(0..4 * i)).collect();
+        for v in &inputs {
+            let predicted = r.predict_work(v).expect("finite bound");
+            let (_, cost) = r.run_single(v).unwrap();
+            assert!(
+                cost.work <= predicted,
+                "measured {} > predicted {predicted} for {v}",
+                cost.work
+            );
+        }
+        let out = r.run_batch(&inputs);
+        assert!(out.predicted_work.is_some(), "plan recorded on outcome");
     }
 }

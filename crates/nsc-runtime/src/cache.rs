@@ -18,6 +18,12 @@
 //!   larger than [`KERNEL_OPT_BUDGET`] skip the optimizer — a
 //!   compile-latency guard, not a semantic switch.
 //!
+//! Each artifact also carries a **symbolic cost certificate**
+//! ([`bvram::CostReport`]): parametric `T'`/`W'` bounds over the input
+//! register lengths, derived once here so the batch runner can evaluate
+//! them per batch without re-analyzing (see
+//! [`crate::batch::BatchRunner::plan`]).
+//!
 //! Compilation failures are cached too (negative caching): a function
 //! that does not compile is not retried per request.
 //!
@@ -32,7 +38,7 @@
 
 use crate::repr::{ErrorRepr, TypeRepr};
 use bvram::verify::verify_program_basic;
-use bvram::{Program, StaticCost};
+use bvram::{cost_program, CostReport, Program, StaticCost};
 use nsc_compile::{compile_nsc_with, optimize_checked, Backend, Compiled, OptLevel, VerifyLevel};
 use nsc_core::ast;
 use nsc_core::error::EvalError;
@@ -77,6 +83,11 @@ pub struct Artifact {
     pub program: Program,
     /// Its input-independent `T'`/`W'` analysis.
     pub stat: StaticCost,
+    /// Its symbolic cost certificate: parametric `T'`/`W'` bounds over
+    /// the input-register lengths, derived once at cache insert.  The
+    /// batch runner evaluates this at actual request lengths to pick a
+    /// batching mode; `⊤` bounds fall back to [`Artifact::stat`].
+    pub cost: CostReport,
     dom: TypeRepr,
     cod: TypeRepr,
 }
@@ -85,6 +96,7 @@ impl Artifact {
     fn of(c: Compiled) -> Artifact {
         Artifact {
             stat: c.stat,
+            cost: cost_program(&c.program),
             dom: TypeRepr::of(&c.dom),
             cod: TypeRepr::of(&c.cod),
             program: c.program,
@@ -362,6 +374,22 @@ mod tests {
         )
         .unwrap();
         assert!(entry.single.program.instrs.len() < s0.program.instrs.len());
+    }
+
+    #[test]
+    fn entries_carry_cost_certificates() {
+        let cache = CompiledCache::new();
+        let dom = Type::seq(Type::Nat);
+        let e = cache
+            .get_or_compile(&inc(), &dom, OptLevel::O1, Backend::Seq)
+            .unwrap();
+        // Both artifacts carry symbolic bounds, derived once at insert.
+        assert!(e.single.cost.is_finite(), "single: {}", e.single.cost);
+        assert!(e.batch.cost.is_finite(), "kernel: {}", e.batch.cost);
+        // One length symbol per input register of the compiled calling
+        // convention (`COMPILE([N])` — data plus descriptor).
+        assert_eq!(e.single.cost.n_syms, 2);
+        assert!(e.single.cost.work.eval(&[0, 0]).is_some());
     }
 
     #[test]

@@ -126,6 +126,7 @@ struct Inner {
     pack_batches: u64,
     lanes_batches: u64,
     fused_batches: u64,
+    pack_slower: u64,
 }
 
 impl Metrics {
@@ -158,8 +159,16 @@ impl Metrics {
     /// Batcher side: a batch of `size` requests is about to execute
     /// under `mode` (`fused` per [`nsc_runtime::BatchOutcome::fused`]);
     /// batches that never reach the runner (all requests malformed) pass
-    /// no mode.
-    pub fn on_batch(&self, size: usize, mode: Option<nsc_runtime::BatchMode>, fused: bool) {
+    /// no mode.  `pack_slower` marks a pack misprediction — the cost
+    /// model chose pack, but the batch ran worse than its prediction
+    /// (see [`Snapshot::pack_slower`]).
+    pub fn on_batch(
+        &self,
+        size: usize,
+        mode: Option<nsc_runtime::BatchMode>,
+        fused: bool,
+        pack_slower: bool,
+    ) {
         let mut m = self.inner.lock().unwrap();
         m.batches += 1;
         m.batch_sizes.record(size as u64);
@@ -170,6 +179,9 @@ impl Metrics {
         }
         if fused {
             m.fused_batches += 1;
+        }
+        if pack_slower {
+            m.pack_slower += 1;
         }
     }
 
@@ -202,6 +214,7 @@ impl Metrics {
             pack_batches: m.pack_batches,
             lanes_batches: m.lanes_batches,
             fused_batches: m.fused_batches,
+            pack_slower: m.pack_slower,
             p50_latency_ns: m.latency_ns.quantile(0.50),
             p99_latency_ns: m.latency_ns.quantile(0.99),
             mean_latency_ns: m.latency_ns.mean(),
@@ -240,6 +253,14 @@ pub struct Snapshot {
     pub lanes_batches: u64,
     /// Pack batches that completed as one fused machine run.
     pub fused_batches: u64,
+    /// Pack mispredictions: batches where the cost model chose pack but
+    /// the batch ran *worse* than predicted — the fused run faulted into
+    /// the per-request fallback (paying for both disciplines), or it
+    /// completed with more measured machine work than the predicted
+    /// per-request `W'` × batch size budgeted.  A rising count says the
+    /// symbolic cost model is picking badly for this shard's workload —
+    /// the `NSC_PACK_CUTOFF` escape hatch is the operator's lever.
+    pub pack_slower: u64,
     /// Median request latency (admission → reply), nanoseconds.
     pub p50_latency_ns: u64,
     /// 99th-percentile request latency, nanoseconds.
@@ -275,6 +296,7 @@ impl Snapshot {
         m.insert("pack_batches".into(), Json::Num(self.pack_batches as f64));
         m.insert("lanes_batches".into(), Json::Num(self.lanes_batches as f64));
         m.insert("fused_batches".into(), Json::Num(self.fused_batches as f64));
+        m.insert("pack_slower".into(), Json::Num(self.pack_slower as f64));
         m.insert(
             "p50_latency_ns".into(),
             Json::Num(self.p50_latency_ns as f64),
@@ -324,7 +346,7 @@ mod tests {
         m.on_admit();
         m.on_admit();
         m.on_reject(); // rolls the third admission back
-        m.on_batch(2, Some(nsc_runtime::BatchMode::Pack), true);
+        m.on_batch(2, Some(nsc_runtime::BatchMode::Pack), true, true);
         m.on_reply(1000, false);
         m.on_reply(2000, true);
         let s = m.snapshot("f", "seq");
@@ -337,6 +359,7 @@ mod tests {
         assert_eq!(s.mean_batch, 2.0);
         assert_eq!(s.pack_batches, 1);
         assert_eq!(s.fused_batches, 1);
+        assert_eq!(s.pack_slower, 1);
         assert!(s.p50_latency_ns >= 1000);
         let json = s.to_json().render();
         assert!(json.contains("\"mean_batch\": 2"));

@@ -41,9 +41,14 @@ USAGE:
                                        (lint warnings go to stderr)
     nsc lint    <file.nsc>             print lint warnings (unused definitions,
                                        shadowed binders, unreachable case arms,
-                                       non-compilable recursion)
+                                       non-compilable recursion, superlinear
+                                       compiled work)
     nsc run     <file.nsc> [OPTIONS]   evaluate, compile, run; print T/W vs T'/W'
     nsc compile <file.nsc> [OPTIONS]   print the compiled BVRAM program
+    nsc cost    <file.nsc> [OPTIONS]   print each definition's symbolic cost
+                                       bounds: T'/W' as polynomials over the
+                                       input register lengths (or ⊤ with the
+                                       program counter and reason)
     nsc bench   <file.nsc> [OPTIONS]   wall-clock batched execution (the
                                        sequential baseline vs pack vs lanes)
     nsc serve   <file.nsc> [OPTIONS]   adaptive micro-batching server speaking
@@ -66,6 +71,9 @@ OPTIONS:
                         runtime; (bench) measure only batch size n instead of
                         the default sweep 1, 8, 64
     --json <path>       (bench) also write the records as BENCH_batch.json
+    --explain           (bench) print the cost model's mode choice per batch
+                        size: predicted per-request W' (the symbolic bound at
+                        the actual input lengths) next to the measured W'
     --addr <host:port>  (serve) listen for TCP connections; a client line
                         {\"cmd\": \"shutdown\"} drains and stops the server
     --stdin             (serve) read requests from stdin, answer on stdout,
@@ -97,6 +105,7 @@ struct Opts {
     max_wait_ms: u64,
     queue_cap: usize,
     verify: VerifyLevel,
+    explain: bool,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
@@ -104,7 +113,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         return Err("expected a command and a file".into());
     }
     let cmd = args.remove(0);
-    if !["check", "lint", "run", "compile", "bench", "serve"].contains(&cmd.as_str()) {
+    if !["check", "lint", "run", "compile", "cost", "bench", "serve"].contains(&cmd.as_str()) {
         return Err(format!("unknown command `{cmd}`"));
     }
     let file = args.remove(0);
@@ -125,6 +134,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         max_wait_ms: 2,
         queue_cap: 1024,
         verify: VerifyLevel::from_env(),
+        explain: false,
     };
     // Silently dropping a flag hides typos; each subcommand accepts only
     // the options it actually reads.
@@ -132,6 +142,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         "check" => &["--verify"],
         "lint" => &[],
         "compile" => &["--entry", "--opt", "--verify"],
+        "cost" => &["--entry", "--opt"],
         "bench" => &[
             "--entry",
             "--input",
@@ -139,6 +150,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
             "--backend",
             "--batch",
             "--json",
+            "--explain",
         ],
         "serve" => &[
             "--addr",
@@ -203,6 +215,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
                 opts.batch = Some(n);
             }
             "--json" => opts.json = Some(val("--json")?),
+            "--explain" => opts.explain = true,
             "--addr" => opts.addr = Some(val("--addr")?),
             "--stdin" => opts.stdin = true,
             "--max-batch" => {
@@ -295,9 +308,13 @@ fn drive(opts: &Opts) -> Result<(), String> {
             for l in nsc::core::lint_module(&module) {
                 let _ = writeln!(out, "{l}");
             }
+            for l in superlinear_lints(&module) {
+                let _ = writeln!(out, "{l}");
+            }
             Ok(())
         }
         "compile" => cmd_compile(opts, &module),
+        "cost" => cmd_cost(opts, &module),
         "run" => cmd_run(opts, &module),
         "bench" => cmd_bench(opts, &module),
         "serve" => cmd_serve(opts, &module),
@@ -364,6 +381,90 @@ fn cmd_compile(opts: &Opts, module: &Module) -> Result<(), String> {
         entry, def.dom, def.cod, opts.opt
     );
     let _ = write!(out, "{}", compiled.program);
+    Ok(())
+}
+
+/// The `superlinear-work` lint: compile each pure definition at the
+/// default level and flag it when the symbolic work bound is ω(n) in any
+/// input register length — or `⊤`, which is worse.  A serving system
+/// that registers such a definition gets per-request cost growing faster
+/// than its input, so the warning points at exactly the definitions the
+/// batch runner's cost model will steer away from packing.
+fn superlinear_lints(module: &Module) -> Vec<nsc::core::Lint> {
+    let mut lints = Vec::new();
+    for d in &module.defs {
+        // Recursive (non-inlinable) definitions are already flagged by
+        // the syntactic linter; anything else that fails to compile is
+        // not this lint's business either.
+        let Ok(pure) = module.inlined(&d.name) else {
+            continue;
+        };
+        let Ok(compiled) =
+            compile_nsc_verified(&pure, &d.dom, OptLevel::default(), VerifyLevel::Off)
+        else {
+            continue;
+        };
+        let report = nsc::machine::cost_program(&compiled.program);
+        let message = match &report.work {
+            w @ nsc::machine::CostBound::Top { .. } => {
+                format!("compiled work bound is unbounded: W' <= {w}")
+            }
+            nsc::machine::CostBound::Poly(p) => {
+                let syms: Vec<String> = (0..report.n_syms)
+                    .filter(|&i| p.superlinear_in(i))
+                    .map(|i| format!("n{i}"))
+                    .collect();
+                if syms.is_empty() {
+                    continue;
+                }
+                format!(
+                    "compiled work grows superlinearly in input length {}: W' <= {p}",
+                    syms.join(", ")
+                )
+            }
+        };
+        lints.push(nsc::core::Lint {
+            code: "superlinear-work",
+            def: d.name.to_string(),
+            message,
+        });
+    }
+    lints
+}
+
+fn cmd_cost(opts: &Opts, module: &Module) -> Result<(), String> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let only = opts.entry.as_deref();
+    if let Some(e) = only {
+        if module.get(e).is_none() {
+            return Err(format!("no definition named `{e}`"));
+        }
+    }
+    for d in &module.defs {
+        if only.is_some_and(|e| e != d.name.as_ref()) {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "fn {} : {} -> {} (opt {:?})",
+            d.name, d.dom, d.cod, opts.opt
+        );
+        let pure = match module.inlined(&d.name) {
+            Ok(p) => p,
+            Err(e @ nsc::core::parse::ModuleError::Recursive(_)) => {
+                let _ = writeln!(out, "  not compiled: {e}");
+                continue;
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        let compiled = compile_nsc_verified(&pure, &d.dom, opts.opt, VerifyLevel::Off)
+            .map_err(|e| format!("compiling `{}`: {e}", d.name))?;
+        let report = nsc::machine::cost_program(&compiled.program);
+        for line in report.to_string().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
     Ok(())
 }
 
@@ -549,10 +650,19 @@ fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {
     let batches: Vec<usize> = opts.batch.map(|b| vec![b]).unwrap_or(vec![1, 8, 64]);
     let cache = CompiledCache::new();
     let mut records = Vec::new();
+    // `--explain`: the cost model's decision per (backend, batch size) —
+    // chosen mode plus the predicted per-request W' behind it.
+    let mut plans = Vec::new();
     for &backend in &opts.backends {
         let runner = BatchRunner::from_cache(&cache, &pure, &def.dom, opts.opt, backend)
             .map_err(|e| format!("compiling `{entry}`: {e}"))?;
         records.extend(measure_batches(&entry, &runner, &input, &batches, 5));
+        if opts.explain {
+            for &b in &batches {
+                let inputs = vec![input.clone(); b];
+                plans.push((backend.name(), b, runner.plan(&inputs)));
+            }
+        }
     }
 
     use std::io::Write;
@@ -567,6 +677,24 @@ fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {
             out,
             "{:>8} {:>6} {:>12} {:>14} {:>12} {:>14} {:>8.2}x",
             r.backend, r.batch, r.mode, r.wall_ns, r.t_prime, r.w_prime, r.speedup_vs_sequential
+        );
+    }
+    for (backend, b, plan) in &plans {
+        let predicted = match plan.predicted_work {
+            Some(w) => w.to_string(),
+            None => "⊤ (size heuristic)".to_string(),
+        };
+        // The measured W' of the discipline the model chose, per request.
+        let measured = records
+            .iter()
+            .find(|r| r.backend == *backend && r.batch == *b && r.mode == plan.mode.name())
+            .map(|r| (r.w_prime / (*b).max(1) as u64).to_string())
+            .unwrap_or_else(|| "?".to_string());
+        let _ = writeln!(
+            out,
+            "explain {backend} B={b}: chose {} (predicted per-request W' {predicted}, \
+             measured {measured})",
+            plan.mode.name()
         );
     }
     if let Some(path) = &opts.json {

@@ -1,0 +1,237 @@
+//! Soundness of the symbolic cost analyzer (`bvram::cost_program`) over
+//! everything the repo can run: every runnable stdlib function, every
+//! golden `.nsc` example, and a battery of fuzz-generated straight-line
+//! programs.  For each program that runs to completion, the measured
+//! [`bvram::Stats`] must sit under the symbolic certificate evaluated at
+//! the *actual* input-register lengths — `T ≤ T'(lens)` and
+//! `W ≤ W'(lens)` — on both backends and at both optimization levels.
+//!
+//! Soundness alone is satisfiable by `⊤` everywhere, so a precision
+//! sweep then pins the five golden examples (and the scalar-map stdlib
+//! workloads) to finite polynomial bounds.
+
+use bvram::{cost_program, CostReport, Stats};
+use nsc_compile::pipeline::{arg_register_lengths, encode_arg, run_program_on};
+use nsc_compile::{compile_nsc_with, Backend, OptLevel};
+use nsc_core::parse::parse_module;
+use nsc_core::types::Type;
+use nsc_core::value::Value;
+use std::path::PathBuf;
+
+mod common;
+use common::typed_suite;
+
+/// Runs `f` on a thread with enough stack for the deepest stdlib
+/// compilations, mirroring `src/bin/nsc.rs` and `tests/static_verify.rs`.
+fn on_big_stack(f: fn()) {
+    std::thread::Builder::new()
+        .name("cost-soundness-worker".into())
+        .stack_size(512 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn worker")
+        .join()
+        .expect("worker panicked");
+}
+
+/// A deterministic inhabitant of `t` whose sequences have length `n`.
+/// Scalars stay small (`1..=3`) so index/take/drop-style arguments are
+/// usually in range at the sweep's sizes; runs that still fault (e.g.
+/// `bm_route` with counts that don't sum to the bound) are skipped — the
+/// claim under test is about *successful* runs.
+fn sample(t: &Type, n: u64) -> Value {
+    match t {
+        Type::Unit => Value::unit(),
+        Type::Nat => Value::nat(n % 3 + 1),
+        Type::Prod(a, b) => Value::pair(sample(a, n), sample(b, n)),
+        Type::Sum(a, b) => {
+            if n.is_multiple_of(2) {
+                Value::inl(sample(a, n))
+            } else {
+                Value::inr(sample(b, n))
+            }
+        }
+        Type::Seq(s) => Value::seq((0..n).map(|i| sample(s, i)).collect()),
+    }
+}
+
+/// Checks one successful run against its certificate: the measured stats
+/// must sit under each finite bound evaluated at `lens` (a `⊤` bound
+/// constrains nothing — that's what the precision tests are for).
+fn assert_sound(what: &str, report: &CostReport, lens: &[u64], stats: &Stats) {
+    assert_eq!(
+        lens.len(),
+        report.n_syms,
+        "{what}: certificate arity disagrees with the calling convention"
+    );
+    if let Some(t) = report.time.eval(lens) {
+        assert!(
+            stats.time <= t,
+            "{what}: measured T {} exceeds bound {} at lens {lens:?}",
+            stats.time,
+            t
+        );
+    }
+    if let Some(w) = report.work.eval(lens) {
+        assert!(
+            stats.work <= w,
+            "{what}: measured W {} exceeds bound {} at lens {lens:?}",
+            stats.work,
+            w
+        );
+    }
+}
+
+/// Every runnable stdlib function: measured cost under the symbolic
+/// bound, both backends, `O0` and `O1`, across an input-size sweep.
+#[test]
+fn stdlib_bounds_are_sound() {
+    on_big_stack(|| {
+        let mut ran = 0usize;
+        let mut skipped = Vec::new();
+        for (name, f, dom) in typed_suite() {
+            for level in [OptLevel::O0, OptLevel::O1] {
+                let c = compile_nsc_with(&f, &dom, level)
+                    .unwrap_or_else(|e| panic!("compiling {name} at {level:?}: {e}"));
+                let report = cost_program(&c.program);
+                let mut succeeded = false;
+                for n in [0u64, 1, 4, 9] {
+                    let arg = sample(&dom, n);
+                    let lens = arg_register_lengths(&arg, &dom).unwrap();
+                    for backend in [Backend::Seq, Backend::Par] {
+                        let regs = encode_arg(&arg, &dom).unwrap();
+                        let Ok(out) = run_program_on(&c.program, regs, backend) else {
+                            // Partial functions (indexing past the end,
+                            // route invariants) may fault on generic
+                            // inputs; soundness only speaks about runs
+                            // that complete.
+                            continue;
+                        };
+                        succeeded = true;
+                        ran += 1;
+                        assert_sound(
+                            &format!("{name} at {level:?} n={n} {}", backend.name()),
+                            &report,
+                            &lens,
+                            &out.stats,
+                        );
+                    }
+                }
+                if !succeeded {
+                    skipped.push(format!("{name} at {level:?}"));
+                }
+            }
+        }
+        // The sweep must actually exercise the analyzer: nearly every
+        // roster entry completes on the sampled inputs (only bm_route's
+        // data-dependent count invariant can reject them all).
+        assert!(
+            skipped.len() <= 2,
+            "too many stdlib functions never ran: {skipped:?}"
+        );
+        assert!(ran >= 100, "only {ran} successful runs across the roster");
+    });
+}
+
+/// Every golden `.nsc` example on its shipped `input`: measured cost
+/// under the symbolic bound, both backends, `O0` and `O1` — and the
+/// precision half: each example's bounds must be finite polynomials at
+/// both levels (a sound-but-`⊤` analyzer fails here).
+#[test]
+fn golden_example_bounds_are_sound_and_finite() {
+    on_big_stack(|| {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("examples/ directory") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_none_or(|e| e != "nsc") {
+                continue;
+            }
+            seen += 1;
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("read example");
+            let module = parse_module(&src).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+            let def = module.get("main").expect("examples define main");
+            let pure = module
+                .inlined("main")
+                .unwrap_or_else(|e| panic!("inlining {name}: {e}"));
+            let input = module
+                .input
+                .clone()
+                .unwrap_or_else(|| panic!("{name} ships no input directive"));
+            for level in [OptLevel::O0, OptLevel::O1] {
+                let c = compile_nsc_with(&pure, &def.dom, level)
+                    .unwrap_or_else(|e| panic!("compiling {name} at {level:?}: {e}"));
+                let report = cost_program(&c.program);
+                assert!(
+                    report.is_finite(),
+                    "{name} at {level:?}: golden examples must get polynomial \
+                     bounds, got\n{report}"
+                );
+                let lens = arg_register_lengths(&input, &def.dom).unwrap();
+                for backend in [Backend::Seq, Backend::Par] {
+                    let regs = encode_arg(&input, &def.dom).unwrap();
+                    let out = run_program_on(&c.program, regs, backend)
+                        .unwrap_or_else(|e| panic!("{name} at {level:?}: {e}"));
+                    assert_sound(
+                        &format!("{name} at {level:?} {}", backend.name()),
+                        &report,
+                        &lens,
+                        &out.stats,
+                    );
+                }
+            }
+        }
+        assert_eq!(seen, 5, "expected the five golden examples");
+    });
+}
+
+/// Fuzz-generated straight-line programs: the analyzer's per-instruction
+/// transfer functions (append growth, route output bounds, select's
+/// data dependence) must stay sound on programs nobody hand-shaped.
+/// Finiteness can't be demanded of every program — an unconstrained
+/// `bm_route`'s output length is genuinely not a function of its input
+/// lengths, so `⊤` is the *correct* answer there — but the decoder emits
+/// valid-by-construction routes most of the time, so the bulk of the
+/// corpus must still get polynomial bounds.
+#[test]
+fn fuzz_bounds_are_sound() {
+    let mut ran = 0usize;
+    let mut finite = 0usize;
+    for seed in 0..200u64 {
+        let words: Vec<u64> = (0..40u64)
+            .map(|i| {
+                (seed + 1)
+                    .wrapping_mul(i.wrapping_add(3))
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            })
+            .collect();
+        let input_lens = [5 + (seed % 4) as usize, 2, 1 + (seed % 3) as usize];
+        let p = bvram::fuzz::decode_program(&words, input_lens, bvram::fuzz::FUZZ_REGS);
+        let report = cost_program(&p);
+        if report.is_finite() {
+            finite += 1;
+        }
+        let inputs: Vec<Vec<u64>> = input_lens
+            .iter()
+            .map(|&l| (0..l as u64).map(|i| i % 7 + 1).collect())
+            .collect();
+        let lens: Vec<u64> = input_lens.iter().map(|&l| l as u64).collect();
+        let seq = bvram::Machine::new(p.n_regs).run(&p, &inputs);
+        let par = bvram::ParMachine::new(p.n_regs).run(&p, &inputs);
+        for (backend, out) in [("seq", seq), ("par", par)] {
+            let Ok(out) = out else { continue };
+            ran += 1;
+            assert_sound(
+                &format!("fuzz seed {seed} {backend}"),
+                &report,
+                &lens,
+                &out.stats,
+            );
+        }
+    }
+    assert!(ran >= 100, "only {ran}/400 fuzz runs completed");
+    assert!(
+        finite >= 100,
+        "only {finite}/200 fuzz programs got finite bounds"
+    );
+}

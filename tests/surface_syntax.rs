@@ -502,7 +502,7 @@ fn cli_lint_matches_goldens() {
         })
         .collect();
     fixtures.sort();
-    assert_eq!(fixtures.len(), 3, "expected exactly three lint fixtures");
+    assert_eq!(fixtures.len(), 4, "expected exactly four lint fixtures");
     for path in fixtures {
         let golden = std::fs::read_to_string(path.with_extension("expected"))
             .unwrap_or_else(|e| panic!("missing golden for {}: {e}", path.display()));
@@ -521,6 +521,42 @@ fn cli_lint_matches_goldens() {
             golden,
             "nsc lint {} diverged from its golden",
             path.display()
+        );
+    }
+}
+
+fn cost_fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/cost")
+}
+
+/// Each shipped example's `nsc cost` output must match its golden under
+/// `tests/fixtures/cost/` byte-for-byte.  The symbolic W'/T' bounds are
+/// part of the CLI contract (CI diffs them as well), so an analyzer
+/// precision regression — a bound collapsing to ⊤ or its degree jumping
+/// — shows up here as a golden mismatch rather than silently degrading
+/// plan selection.
+#[test]
+fn cli_cost_matches_goldens() {
+    let bin = nsc_bin();
+    for (name, _) in golden() {
+        let stem = name.trim_end_matches(".nsc");
+        let golden_path = cost_fixture_dir().join(format!("{stem}.cost"));
+        let want = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing cost golden {}: {e}", golden_path.display()));
+        let out = std::process::Command::new(&bin)
+            .arg("cost")
+            .arg(examples_src_dir().join(name))
+            .output()
+            .expect("spawn nsc");
+        assert!(
+            out.status.success(),
+            "nsc cost {name} failed\n--- stderr ---\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            want,
+            "nsc cost {name} diverged from its golden",
         );
     }
 }
