@@ -1,0 +1,473 @@
+//! **Map fusion** (deforestation) on NSC programs.
+//!
+//! `map(f)(map(g)(x))` materializes the intermediate sequence
+//! `map(g)(x)`, and under the Map-Lemma lowering every stage of such a
+//! chain pays the full flattening encoding — fresh registers for every
+//! intermediate, the segment-descriptor machinery rebuilt per stage.
+//! Fusing the chain into `map(λx. f(g(x)))(x)` applies the encoding once,
+//! which is where pack-mode kernels win back their constant factors (cf.
+//! push/pull-array deforestation and Kannan–Hamilton's
+//! skeleton-identification transformations).
+//!
+//! Two rewrites run to a fixpoint, bottom-up:
+//!
+//! * **(β)** `(λy. F(y))(M) ⇒ F(M)` when `y ∉ fv(F)` — collapses the
+//!   single-use `let` wrappers that front ends and inlined definitions
+//!   put between map stages, so chains written as
+//!   `let y = map(g)(x) in map(f)(y)` still fuse;
+//! * **(fuse)** `map(f)(map(g)(M)) ⇒ map(λx. f(g(x)))(M)` with a fresh,
+//!   capture-avoiding `x`.
+//!
+//! Both are semantics-preserving *including the error semantics*: NSC
+//! `map` is strict (one `Ω` element poisons the whole map), so the fused
+//! `map` produces `Ω` exactly when either stage of the unfused chain
+//! would — `∃i. g(xᵢ) = Ω ∨ f(g(xᵢ)) = Ω` in both readings.  The
+//! differential proptests in the workspace root pin this down over fuzz
+//! programs and the stdlib.
+//!
+//! `while` bodies and predicates are traversed but never restructured,
+//! so the trip-certificate patterns `nsa::from_nsc` recognizes (halving
+//! counters, shrinking sequences) survive fusion untouched.
+
+use nsc_core::ast::{self as a, CmpOp, Func, FuncK, Ident, Term, TermK};
+use std::collections::BTreeSet;
+
+/// The result of fusing a function: the rewritten function plus the
+/// diagnostics `nsc compile --explain-fusion` prints.
+#[derive(Debug, Clone)]
+pub struct Fused {
+    /// The rewritten function.
+    pub func: Func,
+    /// Number of `map ∘ map` stages collapsed (a 3-stage chain counts 2).
+    pub stages: usize,
+    /// Human-readable reasons fusion stopped at a map boundary that
+    /// *looked* like a chain (deduplicated, source order not preserved).
+    pub blocked: Vec<String>,
+}
+
+/// Fuses every `map ∘ map` chain in `f`.  Idempotent: re-fusing the
+/// result finds nothing further to do.
+pub fn fuse_func(f: &Func) -> Fused {
+    let mut rw = Rewriter {
+        next_fresh: 0,
+        stages: 0,
+        blocked: BTreeSet::new(),
+    };
+    let func = rw.fuse_fn(f);
+    Fused {
+        func,
+        stages: rw.stages,
+        blocked: rw.blocked.into_iter().collect(),
+    }
+}
+
+struct Rewriter {
+    next_fresh: usize,
+    stages: usize,
+    blocked: BTreeSet<String>,
+}
+
+impl Rewriter {
+    /// A fresh element variable for the fused lambda, avoiding capture of
+    /// anything free in either stage.
+    fn fresh_var(&mut self, avoid: &[&Func]) -> Ident {
+        loop {
+            let name = format!("__fuse{}", self.next_fresh);
+            self.next_fresh += 1;
+            if avoid.iter().all(|f| !f.fv().contains(name.as_str())) {
+                return a::ident(&name);
+            }
+        }
+    }
+
+    fn fuse_fn(&mut self, f: &Func) -> Func {
+        match f.kind() {
+            FuncK::Lambda(x, ty, body) => {
+                let b2 = self.fuse_term(body);
+                if b2 == *body {
+                    f.clone()
+                } else {
+                    match ty {
+                        Some(t) => a::lam_t(x, t.clone(), b2),
+                        None => a::lam(x, b2),
+                    }
+                }
+            }
+            FuncK::Map(g) => {
+                let g2 = self.fuse_fn(g);
+                if g2 == *g {
+                    f.clone()
+                } else {
+                    a::map(g2)
+                }
+            }
+            FuncK::While(p, b) => {
+                let (p2, b2) = (self.fuse_fn(p), self.fuse_fn(b));
+                if p2 == *p && b2 == *b {
+                    f.clone()
+                } else {
+                    a::while_(p2, b2)
+                }
+            }
+            FuncK::Named(_) => f.clone(),
+        }
+    }
+
+    /// Bottom-up: rewrite the children, then apply the rules at this node
+    /// until none fires.
+    fn fuse_term(&mut self, t: &Term) -> Term {
+        let t = self.rebuild(t);
+        self.rules(t)
+    }
+
+    fn rebuild(&mut self, t: &Term) -> Term {
+        macro_rules! one {
+            ($mk:expr, $x:expr) => {{
+                let x2 = self.fuse_term($x);
+                if x2 == *$x {
+                    t.clone()
+                } else {
+                    $mk(x2)
+                }
+            }};
+        }
+        macro_rules! two {
+            ($mk:expr, $x:expr, $y:expr) => {{
+                let (x2, y2) = (self.fuse_term($x), self.fuse_term($y));
+                if x2 == *$x && y2 == *$y {
+                    t.clone()
+                } else {
+                    $mk(x2, y2)
+                }
+            }};
+        }
+        match t.kind() {
+            TermK::Var(_) | TermK::Error(_) | TermK::Const(_) | TermK::Unit | TermK::Empty(_) => {
+                t.clone()
+            }
+            TermK::Arith(op, x, y) => {
+                let op = *op;
+                two!(|x, y| a::arith(op, x, y), x, y)
+            }
+            TermK::Cmp(op, x, y) => {
+                let mk = match op {
+                    CmpOp::Eq => a::eq,
+                    CmpOp::Le => a::le,
+                    CmpOp::Lt => a::lt,
+                };
+                two!(mk, x, y)
+            }
+            TermK::Pair(x, y) => two!(a::pair, x, y),
+            TermK::Proj1(x) => one!(a::fst, x),
+            TermK::Proj2(x) => one!(a::snd, x),
+            TermK::Inl(x, ty) => {
+                let ty = ty.clone();
+                one!(|x| a::inl(x, ty), x)
+            }
+            TermK::Inr(x, ty) => {
+                let ty = ty.clone();
+                one!(|x| a::inr(x, ty), x)
+            }
+            TermK::Case(m, x, n, y, p) => {
+                let (m2, n2, p2) = (self.fuse_term(m), self.fuse_term(n), self.fuse_term(p));
+                if m2 == *m && n2 == *n && p2 == *p {
+                    t.clone()
+                } else {
+                    a::case(m2, x, n2, y, p2)
+                }
+            }
+            TermK::Apply(f, m) => {
+                let (f2, m2) = (self.fuse_fn(f), self.fuse_term(m));
+                if f2 == *f && m2 == *m {
+                    t.clone()
+                } else {
+                    a::app(f2, m2)
+                }
+            }
+            TermK::Singleton(x) => one!(a::singleton, x),
+            TermK::Append(x, y) => two!(a::append, x, y),
+            TermK::Flatten(x) => one!(a::flatten, x),
+            TermK::Length(x) => one!(a::length, x),
+            TermK::Get(x) => one!(a::get, x),
+            TermK::Zip(x, y) => two!(a::zip, x, y),
+            TermK::Enumerate(x) => one!(a::enumerate, x),
+            TermK::Split(x, y) => two!(a::split, x, y),
+        }
+    }
+
+    fn rules(&mut self, mut t: Term) -> Term {
+        while let Some(next) = self.step(&t) {
+            t = next;
+        }
+        t
+    }
+
+    /// One root-level rewrite, or `None` when the node is in normal form.
+    fn step(&mut self, t: &Term) -> Option<Term> {
+        let TermK::Apply(f, m) = t.kind() else {
+            return None;
+        };
+        // (β): (λy. F(y))(M) ⇒ F(M) when y ∉ fv(F).
+        if let FuncK::Lambda(y, _, body) = f.kind() {
+            if let TermK::Apply(g, arg) = body.kind() {
+                let trivial = matches!(arg.kind(), TermK::Var(v) if v == y);
+                if trivial && !g.fv().contains(&**y) {
+                    return Some(a::app(g.clone(), m.clone()));
+                }
+            }
+            // A let binding a map result whose wrapper is not
+            // (β)-collapsible: the intermediate sequence escapes.
+            if matches!(m.kind(), TermK::Apply(g, _) if matches!(g.kind(), FuncK::Map(_)))
+                && body.fv().contains(&**y)
+            {
+                self.blocked.insert(format!(
+                    "`let {y} = map(…)(…)` is not consumed as exactly `map(f)({y})` \
+                     — the intermediate has other uses"
+                ));
+            }
+        }
+        // (fuse): map(f)(map(g)(M)) ⇒ map(λx. f(g(x)))(M).
+        if let FuncK::Map(f_elem) = f.kind() {
+            if let TermK::Apply(g, m2) = m.kind() {
+                if let FuncK::Map(g_elem) = g.kind() {
+                    let x = self.fresh_var(&[f_elem, g_elem]);
+                    let inner = a::app(f_elem.clone(), a::app(g_elem.clone(), a::var(&x)));
+                    // The composed body is itself a fresh redex when both
+                    // stages map over nested sequences: normalize it too.
+                    let inner = self.rules(inner);
+                    self.stages += 1;
+                    return Some(a::app(a::map(a::lam(&x, inner)), m2.clone()));
+                }
+                // A map consuming another function's output that did not
+                // fuse: say why, for `--explain-fusion`.
+                self.blocked.insert(match g.kind() {
+                    FuncK::Lambda(_, _, _) => {
+                        "map consumes a lambda's result that is not itself a map \
+                         application — nothing to fuse with"
+                            .into()
+                    }
+                    FuncK::While(_, _) => {
+                        "map consumes a while-loop result; loops do not fuse into maps".into()
+                    }
+                    FuncK::Named(n) => {
+                        format!("map consumes opaque named function `{n}` (inline it to fuse)")
+                    }
+                    FuncK::Map(_) => unreachable!("map producer always fuses"),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_core::eval::apply_func;
+    use nsc_core::value::Value;
+
+    fn add_n(k: u64) -> Func {
+        a::lam("x", a::add(a::var("x"), a::nat(k)))
+    }
+
+    fn count_maps(f: &Func) -> usize {
+        fn in_fn(f: &Func) -> usize {
+            match f.kind() {
+                FuncK::Lambda(_, _, b) => in_term(b),
+                FuncK::Map(g) => 1 + in_fn(g),
+                FuncK::While(p, b) => in_fn(p) + in_fn(b),
+                FuncK::Named(_) => 0,
+            }
+        }
+        fn in_term(t: &Term) -> usize {
+            match t.kind() {
+                TermK::Apply(f, m) => in_fn(f) + in_term(m),
+                TermK::Arith(_, x, y)
+                | TermK::Cmp(_, x, y)
+                | TermK::Pair(x, y)
+                | TermK::Append(x, y)
+                | TermK::Zip(x, y)
+                | TermK::Split(x, y) => in_term(x) + in_term(y),
+                TermK::Case(m, _, n, _, p) => in_term(m) + in_term(n) + in_term(p),
+                TermK::Proj1(x)
+                | TermK::Proj2(x)
+                | TermK::Inl(x, _)
+                | TermK::Inr(x, _)
+                | TermK::Singleton(x)
+                | TermK::Flatten(x)
+                | TermK::Length(x)
+                | TermK::Get(x)
+                | TermK::Enumerate(x) => in_term(x),
+                _ => 0,
+            }
+        }
+        in_fn(f)
+    }
+
+    #[test]
+    fn two_stage_chain_fuses() {
+        let f = a::lam(
+            "v",
+            a::app(a::map(add_n(1)), a::app(a::map(add_n(2)), a::var("v"))),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 1);
+        assert_eq!(count_maps(&fused.func), 1, "{}", fused.func);
+        let arg = Value::nat_seq(0..8);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn three_stage_chain_fuses_twice() {
+        let f = a::lam(
+            "v",
+            a::app(
+                a::map(add_n(1)),
+                a::app(
+                    a::map(add_n(2)),
+                    a::app(
+                        a::map(a::lam("x", a::mul(a::var("x"), a::nat(3)))),
+                        a::var("v"),
+                    ),
+                ),
+            ),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 2);
+        assert_eq!(count_maps(&fused.func), 1, "{}", fused.func);
+        let arg = Value::nat_seq(0..16);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chain_through_let_fuses() {
+        // let y = map(g)(v) in map(f)(y)  —  the (β) rule unlocks (fuse).
+        let f = a::lam(
+            "v",
+            a::let_in(
+                "y",
+                a::app(a::map(add_n(2)), a::var("v")),
+                a::app(a::map(add_n(1)), a::var("y")),
+            ),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 1, "{}", fused.func);
+        assert_eq!(count_maps(&fused.func), 1);
+        let arg = Value::nat_seq(0..5);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_use_intermediate_blocks_and_says_so() {
+        // let y = map(g)(v) in zip(map(f)(y), y) — y is used twice, so the
+        // wrapper is not (β)-collapsible and the chain must not fuse.
+        let f = a::lam(
+            "v",
+            a::app(
+                a::lam(
+                    "y",
+                    a::zip(a::app(a::map(add_n(1)), a::var("y")), a::var("y")),
+                ),
+                a::app(a::map(add_n(2)), a::var("v")),
+            ),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 0);
+        assert_eq!(count_maps(&fused.func), 2);
+        assert!(
+            fused.blocked.iter().any(|b| b.contains("other uses")),
+            "{:?}",
+            fused.blocked
+        );
+        let arg = Value::nat_seq(0..4);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_map_chains_fuse_inside_the_composed_body() {
+        // map(map(f)) ∘ map(map(g)) over [[N]]: the outer fusion composes
+        // two maps whose bodies are again a fusable chain.
+        let f = a::lam(
+            "v",
+            a::app(
+                a::map(a::map(add_n(1))),
+                a::app(a::map(a::map(add_n(2))), a::var("v")),
+            ),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 2, "{}", fused.func);
+        assert_eq!(count_maps(&fused.func), 2, "{}", fused.func);
+        let arg = Value::seq(vec![Value::nat_seq(0..3), Value::nat_seq([7])]);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn omega_classification_is_preserved() {
+        // get([]) is Ω; the first stage errors on element 0, the second
+        // stage would error on everything — fused and unfused agree.
+        let first_errs = a::lam("x", a::get(a::empty(nsc_core::Type::Nat)));
+        let f = a::lam(
+            "v",
+            a::app(a::map(add_n(1)), a::app(a::map(first_errs), a::var("v"))),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 1);
+        let arg = Value::nat_seq(0..3);
+        let want = apply_func(&f, arg.clone()).unwrap_err();
+        let got = apply_func(&fused.func, arg).unwrap_err();
+        assert_eq!(got, want);
+        // And the empty input runs Ω-free through both.
+        let arg = Value::nat_seq(0..0);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fusion_is_idempotent_and_capture_avoiding() {
+        // The second stage's body mentions a variable named like the fresh
+        // one fusion would pick; the fresh-name search must skip it.
+        let shadowy = a::lam("__fuse0", a::add(a::var("__fuse0"), a::var("k")));
+        let f = a::lam(
+            "k",
+            a::app(
+                a::lam(
+                    "v",
+                    a::app(a::map(shadowy), a::app(a::map(add_n(2)), a::var("v"))),
+                ),
+                a::singleton(a::var("k")),
+            ),
+        );
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 1);
+        let again = fuse_func(&fused.func);
+        assert_eq!(again.stages, 0);
+        assert_eq!(again.func, fused.func);
+        let arg = Value::nat(5);
+        let (want, _) = apply_func(&f, arg.clone()).unwrap();
+        let (got, _) = apply_func(&fused.func, arg).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn while_shapes_are_left_intact() {
+        // map(while(...)) — the Map Lemma's hard case: no chain, no change.
+        let f = a::map(a::while_(
+            a::lam("x", a::lt(a::nat(0), a::var("x"))),
+            a::lam("x", a::rshift(a::var("x"), a::nat(1))),
+        ));
+        let fused = fuse_func(&f);
+        assert_eq!(fused.stages, 0);
+        assert_eq!(fused.func, f);
+    }
+}

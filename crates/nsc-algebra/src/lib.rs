@@ -2,6 +2,8 @@
 //!
 //! Section 7 and Appendices C/D of Suciu & Tannen 1994:
 //!
+//! * [`fuse`] — source-level **map fusion** (deforestation), applied
+//!   before translation so chained maps flatten once, not per stage;
 //! * [`nsa`] — the variable-free **Nested Sequence Algebra** and the
 //!   NSC → NSA translation (Proposition C.1);
 //! * [`sa`] — the flat **Sequence Algebra**, the `SEQ(t)`
@@ -9,6 +11,7 @@
 //!   flattening translation `COMPILE` (Proposition 7.4).
 #![warn(missing_docs)]
 
+pub mod fuse;
 pub mod nsa;
 pub mod sa;
 pub mod trip;

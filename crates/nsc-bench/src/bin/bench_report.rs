@@ -42,7 +42,8 @@ const EXAMPLES: [&str; 5] = [
 
 const BATCH_SIZES: [usize; 3] = [1, 8, 64];
 
-/// Wall-clock repetitions per cell (best kept).
+/// Minimum wall-clock repetitions per cell (median kept; the runtime
+/// adds repetitions up to its sampling-time floor).
 const REPS: u32 = 5;
 
 fn repo_root() -> PathBuf {

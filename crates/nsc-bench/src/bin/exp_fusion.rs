@@ -1,0 +1,4 @@
+//! Harness binary for EXP-FUSION (the fused vs unfused differential).
+fn main() {
+    nsc_bench::exp_fusion();
+}

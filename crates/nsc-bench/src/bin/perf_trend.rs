@@ -17,7 +17,9 @@
 //!
 //! Output is a markdown comparison table (written to stdout and, with
 //! `--summary <path>`, appended to that file — CI passes
-//! `$GITHUB_STEP_SUMMARY`).  Exit status 1 iff any cell regressed.
+//! `$GITHUB_STEP_SUMMARY`).  Gated cells that *beat* the baseline by
+//! more than 10% are flagged `improved` so wins are as visible as
+//! decays; only decays gate.  Exit status 1 iff any cell regressed.
 //!
 //! Re-baselining: land an intentional slowdown by regenerating
 //! `BENCH_batch.json` in the same commit and putting `[bench-reset]` in
@@ -102,6 +104,11 @@ enum Verdict {
     Regressed,
     Missing,
     New,
+    /// A gated cell whose fresh speedup beats the baseline by more than
+    /// 10% — surfaced in the step summary so genuine wins are as
+    /// visible as decays (and a hint the baseline is due a refresh).
+    /// Never affects the exit status.
+    Improved,
     /// The baseline itself is below parity here (batching loses on this
     /// cell even on the baseline host — e.g. pack on a lanes-favored
     /// example).  Sub-parity speedups are noise-dominated, so the cell
@@ -128,6 +135,7 @@ fn compare(baseline: &Report, fresh: &Report, threshold: f64) -> Vec<RowOut> {
             match fresh_val {
                 None => Verdict::Missing,
                 Some(f) if f < base * (1.0 - threshold) => Verdict::Regressed,
+                Some(f) if f > base * 1.1 => Verdict::Improved,
                 Some(_) => Verdict::Ok,
             }
         };
@@ -174,6 +182,7 @@ fn markdown(baseline: &Report, fresh: &Report, rows: &[RowOut], threshold: f64) 
             Verdict::Regressed => "**REGRESSED**",
             Verdict::Missing => "**MISSING**",
             Verdict::New => "new",
+            Verdict::Improved => "**improved**",
             Verdict::BelowParity => "not gated (< 1x in baseline)",
         };
         out.push_str(&format!(
@@ -193,11 +202,14 @@ fn markdown(baseline: &Report, fresh: &Report, rows: &[RowOut], threshold: f64) 
         .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
         .count();
     out.push_str(&format!(
-        "\n{} gated cells, {} regressed.{}\n",
+        "\n{} gated cells, {} regressed, {} improved (> 1.1x baseline).{}\n",
         rows.iter()
             .filter(|r| !matches!(r.verdict, Verdict::New | Verdict::BelowParity))
             .count(),
         bad,
+        rows.iter()
+            .filter(|r| r.verdict == Verdict::Improved)
+            .count(),
         if bad > 0 {
             " Intentional? Regenerate BENCH_batch.json and put `[bench-reset]` in the \
              commit message."
@@ -387,6 +399,44 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn improvements_are_reported_but_never_gate() {
+        let mut fresh = base();
+        // +50% on one gated cell, +5% on another: only the first is an
+        // improvement (the 10% band absorbs wobble), and neither fails.
+        *fresh
+            .speedups
+            .get_mut(&Key {
+                example: "sq".into(),
+                backend: "seq".into(),
+                batch: 64,
+                mode: "lanes".into(),
+            })
+            .unwrap() = 2.10 * 1.5;
+        *fresh
+            .speedups
+            .get_mut(&Key {
+                example: "sq".into(),
+                backend: "seq".into(),
+                batch: 8,
+                mode: "pack".into(),
+            })
+            .unwrap() = 1.26 * 1.05;
+        let rows = compare(&base(), &fresh, 0.25);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.verdict == Verdict::Improved)
+                .count(),
+            1
+        );
+        assert!(!rows
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing)));
+        let table = markdown(&base(), &fresh, &rows, 0.25);
+        assert!(table.contains("**improved**"));
+        assert!(table.contains("1 improved"));
     }
 
     #[test]

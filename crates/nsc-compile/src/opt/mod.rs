@@ -10,6 +10,12 @@
 //!
 //! * [`local`] — per-block copy propagation and local value numbering
 //!   (`Length`/`Enumerate`/arith/route CSE);
+//! * [`gcse`] — *global* value numbering over single-definition
+//!   registers with dominance-gated rewrites, which hoists the segment
+//!   descriptors and broadcasts the Map Lemma recomputes per block;
+//! * [`strength`] — algebraic strength reduction over constant-fill and
+//!   symbolic-length facts (`x+0`, `x·1`, `x·0`, identity `bm_route`
+//!   → `Move`);
 //! * [`jumps`] — jump threading (`goto`-to-`goto` collapse), fallthrough
 //!   `goto` removal, unreachable-code elimination;
 //! * [`dce`] — global liveness-based dead-instruction elimination
@@ -29,8 +35,11 @@
 
 pub mod coalesce;
 pub mod dce;
+mod dom;
+pub mod gcse;
 pub mod jumps;
 pub mod local;
+pub mod strength;
 
 use bvram::verify::{verify_program_basic, Report};
 use bvram::{cost_program, CostBound, CostReport, Instr, Program};
@@ -76,7 +85,7 @@ impl VerifyLevel {
     }
 }
 
-/// Pass name for the register-compaction step (the four rewrite passes
+/// Pass name for the register-compaction step (the rewrite passes
 /// export their own `NAME` consts).
 pub const COMPACT_NAME: &str = "compact_registers";
 
@@ -275,6 +284,12 @@ pub fn optimize_checked(
         changed |= local::propagate_and_number(&mut p);
         check(local::NAME, &p)?;
         advance_cost(local::NAME, &p, &mut prev_cost)?;
+        changed |= gcse::eliminate(&mut p);
+        check(gcse::NAME, &p)?;
+        advance_cost(gcse::NAME, &p, &mut prev_cost)?;
+        changed |= strength::reduce(&mut p);
+        check(strength::NAME, &p)?;
+        advance_cost(strength::NAME, &p, &mut prev_cost)?;
         changed |= jumps::thread_jumps(&mut p);
         check(jumps::NAME, &p)?;
         advance_cost(jumps::NAME, &p, &mut prev_cost)?;
@@ -589,6 +604,58 @@ mod tests {
         // keeps the bounds finite.
         let opt = optimize_checked(p, OptLevel::O1, VerifyLevel::Full, "input").unwrap();
         assert!(cost_program(&opt).is_finite());
+    }
+
+    #[test]
+    fn undominated_merge_mutant_is_caught_by_name() {
+        // A mutant gcse that merges duplicates without the dominance
+        // check rewrites the join-point read to a register only defined
+        // on one path.  The init-cleanliness baseline catches the
+        // introduced use-before-def and names the pass.
+        let mut b = Builder::new(1, 1);
+        b.if_empty_goto(0, "skip")
+            .push(Length { dst: 2, src: 0 })
+            .label("skip")
+            .push(Length { dst: 3, src: 0 })
+            .push(Move { dst: 0, src: 3 })
+            .push(Halt);
+        let p = b.build().unwrap();
+        let report = bvram::verify::verify_program_basic(&p);
+        assert!(report.ok());
+        let base = Baseline::of(&report);
+        assert!(base.init_clean);
+        let mut mutated = p.clone();
+        mutated.instrs[3] = Move { dst: 0, src: 2 };
+        let err = check_stage("mutant_gcse_undominated", &mutated, base).unwrap_err();
+        assert_eq!(err.pass, "mutant_gcse_undominated");
+        // The real pass leaves the program alone (see gcse's own tests)
+        // and the full verified pipeline stays clean on it.
+        optimize_checked(p, OptLevel::O1, VerifyLevel::Full, "input").unwrap();
+    }
+
+    #[test]
+    fn inverse_strength_mutant_is_caught_by_name() {
+        // A mutant that rewrites a 2·len Move into an equivalent 3·len
+        // arith (`max(x,x)`) preserves semantics and structure, so only
+        // the cost-regression gate can object — and it must name the
+        // offending pass.
+        let mut b = Builder::new(1, 1);
+        b.push(Enumerate { dst: 1, src: 0 })
+            .push(Move { dst: 0, src: 1 })
+            .push(Halt);
+        let p = b.build().unwrap();
+        let pre = cost_program(&p);
+        let mut mutated = p.clone();
+        mutated.instrs[1] = Arith {
+            dst: 0,
+            op: Op::Max,
+            a: 1,
+            b: 1,
+        };
+        let post = cost_program(&mutated);
+        let err = check_cost_regression("mutant_strength_inverse", &pre, &post).unwrap_err();
+        assert_eq!(err.pass, "mutant_strength_inverse");
+        assert!(err.to_string().contains("increased"), "{err}");
     }
 
     #[test]

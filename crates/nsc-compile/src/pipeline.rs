@@ -36,6 +36,10 @@ pub struct Compiled {
     /// the compiled-program cache stores and the batch runtime's
     /// pack-vs-lanes decision reads).
     pub stat: StaticCost,
+    /// Number of `map ∘ map` stages source-level fusion collapsed before
+    /// translation ([`nsc_algebra::fuse`]); `0` at [`OptLevel::O0`] and
+    /// for programs with no chained maps.
+    pub fused_stages: usize,
 }
 
 impl Compiled {
@@ -47,6 +51,7 @@ impl Compiled {
             dom,
             cod,
             stat,
+            fused_stages: 0,
         }
     }
 }
@@ -79,6 +84,48 @@ pub fn compile_nsc_verified(
     level: OptLevel,
     verify: VerifyLevel,
 ) -> Result<Compiled, E> {
+    compile_nsc_opts(f, dom, level, verify, level != OptLevel::O0)
+}
+
+/// [`compile_nsc_verified`] with source-level map fusion disabled at
+/// every opt level — the differential baseline `exp_fusion` and the
+/// fusion proptests compare against, so the fused and unfused pipelines
+/// run the *same* BVRAM pass stack and differ only in the rewrite.
+pub fn compile_nsc_unfused(
+    f: &Func,
+    dom: &Type,
+    level: OptLevel,
+    verify: VerifyLevel,
+) -> Result<Compiled, E> {
+    compile_nsc_opts(f, dom, level, verify, false)
+}
+
+/// The fully explicit pipeline entry: optimization level, translation
+/// validation, and source-level fusion are all caller-chosen.  The
+/// compiled-program cache uses this to lower a pack kernel *fused but
+/// unoptimized* first, so the kernel-size optimizer gate
+/// (`KERNEL_OPT_BUDGET` in `nsc-runtime`) measures the program it would
+/// actually optimize.
+pub fn compile_nsc_opts(
+    f: &Func,
+    dom: &Type,
+    level: OptLevel,
+    verify: VerifyLevel,
+    fuse: bool,
+) -> Result<Compiled, E> {
+    // Fusion runs on NSC source, before variable elimination, so the
+    // Map-Lemma encoding is paid once per chain instead of once per
+    // stage.  O0 skips it: "exactly as emitted" stays the baseline.
+    let (fused_f, fused_stages);
+    let f = if fuse {
+        let fused = nsc_algebra::fuse::fuse_func(f);
+        fused_stages = fused.stages;
+        fused_f = fused.func;
+        &fused_f
+    } else {
+        fused_stages = 0;
+        f
+    };
     let nsa = func_to_nsa(f).map_err(E::Translation)?;
     let (sa, cod) = compile(&nsa, dom)?;
     let (program, sa_cod) = compile_sa(&sa, &compile_type(dom))?;
@@ -96,7 +143,9 @@ pub fn compile_nsc_verified(
     }
     let program = optimize_checked(program, level, verify, "codegen")
         .map_err(|e| E::MachineFault(e.to_string()))?;
-    Ok(Compiled::from_parts(program, dom.clone(), cod))
+    let mut c = Compiled::from_parts(program, dom.clone(), cod);
+    c.fused_stages = fused_stages;
+    Ok(c)
 }
 
 /// Maps a machine error onto the NSC-level error semantics.

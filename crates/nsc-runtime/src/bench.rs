@@ -16,8 +16,10 @@
 //!               "w_prime": 789, "speedup_vs_sequential": 1.87}, …]}
 //! ```
 //!
-//! `wall_ns` is the minimum over the measured repetitions (minimum, not
-//! mean: scheduling noise only ever adds time).  `t_prime`/`w_prime` are
+//! `wall_ns` is the *median* over the measured repetitions — robust
+//! against scheduler noise in both directions, unlike a minimum, whose
+//! lower-tail bias destabilizes cross-report speedup ratios once the
+//! sampling-time floor drives repetition counts into the thousands.  `t_prime`/`w_prime` are
 //! the *exact* machine costs of the measured discipline (summed over the
 //! loop for `"sequential"`, the aggregate [`crate::BatchOutcome`] cost
 //! otherwise), so the JSON carries both wall-clock and model costs and
@@ -49,7 +51,7 @@ pub struct BenchRecord {
     pub batch: usize,
     /// Discipline: `sequential`, `pack`, or `lanes`.
     pub mode: String,
-    /// Best wall-clock over the measured repetitions, in nanoseconds.
+    /// Median wall-clock over the measured repetitions, in nanoseconds.
     pub wall_ns: u128,
     /// Exact machine `T'` of the measured discipline.
     pub t_prime: u64,
@@ -127,21 +129,43 @@ pub fn json_report(records: &[BenchRecord]) -> String {
     out
 }
 
-fn best_wall<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
-    let mut best = u128::MAX;
-    let mut out = None;
-    for _ in 0..reps.max(1) {
-        let t = Instant::now();
-        let r = f();
-        best = best.min(t.elapsed().as_nanos());
-        out = Some(r);
-    }
-    (best, out.expect("reps >= 1"))
+/// Floor on *total* sampling time per measured discipline at one batch
+/// size.  A handful of µs-scale repetitions is pure scheduler noise
+/// (observed: the same cell's speedup ratio swinging 0.9x–1.7x between
+/// reports, which makes a ratio-based trend gate flaky); re-sampling
+/// until this much wall time has accumulated gives small cells hundreds
+/// of samples, while ms-scale cells already exceed the floor within
+/// their normal repetitions.
+const MIN_SAMPLE_NANOS: u128 = 50_000_000;
+
+/// Hard cap on sampling rounds per batch size (a backstop so a
+/// pathologically cheap workload cannot loop unboundedly toward the
+/// time floor).
+const MAX_ROUNDS: u32 = 3_000;
+
+/// Median of a non-empty sample set (upper median for even counts).
+fn median(walls: &mut [u128]) -> u128 {
+    walls.sort_unstable();
+    walls[walls.len() / 2]
 }
 
 /// Measures `example` on `runner` at each batch size: the sequential
-/// baseline plus both batch modes, `reps` repetitions each (best wall
-/// kept).  Batches replicate `input` `B` times.
+/// baseline plus both batch modes.  Batches replicate `input` `B`
+/// times.
+///
+/// The three disciplines are sampled **interleaved** — each round times
+/// one sequential loop, one pack run, and one lanes run back-to-back —
+/// for at least `reps` rounds and then until every discipline has
+/// accumulated the 50ms sampling-time floor of wall time.  The kept statistic
+/// per discipline is the **median** round.  Both choices are load-
+/// bearing for the CI trend gate, which compares speedup *ratios*
+/// across reports measured minutes or days apart: interleaving makes
+/// every discipline's samples span the same wall-clock window (a CPU
+/// frequency step or noisy neighbor between two disciplines' windows
+/// otherwise skews the ratio — observed as 60% cross-report swings
+/// under one-discipline-at-a-time sampling), and the median, unlike a
+/// best-of-N minimum, does not walk into the distribution's lower tail
+/// as the time floor drives sample counts into the hundreds.
 ///
 /// # Panics
 ///
@@ -158,19 +182,55 @@ pub fn measure_batches(
     let mut records = Vec::new();
     for &b in batches {
         let inputs: Vec<Value> = std::iter::repeat_n(input.clone(), b).collect();
+        let mut seq_cost = Cost::ZERO;
         let expected: Vec<_> = inputs
             .iter()
-            .map(|v| runner.run_single(v).map(|p| p.0))
+            .map(|v| {
+                runner.run_single(v).map(|(out, c)| {
+                    seq_cost += c;
+                    out
+                })
+            })
             .collect();
-        let (seq_wall, seq_cost) = best_wall(reps, || {
-            let mut cost = Cost::ZERO;
+        // B identical requests: the per-round loop re-runs them for the
+        // wall clock only, so the cost sum is over one round's worth.
+
+        const MODES: [BatchMode; 2] = [BatchMode::Pack, BatchMode::Lanes];
+        let mut seq_walls: Vec<u128> = Vec::new();
+        let mut mode_walls: [Vec<u128>; 2] = [Vec::new(), Vec::new()];
+        let mut totals = [0u128; 3];
+        let mut outcomes = [None, None];
+        let mut rounds = 0u32;
+        loop {
+            let t = Instant::now();
             for v in &inputs {
-                if let Ok((_, c)) = runner.run_single(v) {
-                    cost += c;
-                }
+                let _ = runner.run_single(v);
             }
-            cost
-        });
+            let e = t.elapsed().as_nanos();
+            seq_walls.push(e);
+            totals[0] += e;
+            for (m, mode) in MODES.into_iter().enumerate() {
+                let t = Instant::now();
+                let outcome = runner.run_batch_mode(&inputs, mode);
+                let e = t.elapsed().as_nanos();
+                mode_walls[m].push(e);
+                totals[m + 1] += e;
+                assert_eq!(
+                    outcome.results,
+                    expected,
+                    "{example}/{backend}/B={b}/{}: batch results diverge from single runs",
+                    mode.name()
+                );
+                outcomes[m] = Some(outcome);
+            }
+            rounds += 1;
+            if rounds >= reps.max(1)
+                && (totals.iter().all(|&t| t >= MIN_SAMPLE_NANOS) || rounds >= MAX_ROUNDS)
+            {
+                break;
+            }
+        }
+        let seq_wall = median(&mut seq_walls);
         records.push(BenchRecord {
             example: example.to_string(),
             backend: backend.clone(),
@@ -181,14 +241,9 @@ pub fn measure_batches(
             w_prime: seq_cost.work,
             speedup_vs_sequential: 1.0,
         });
-        for mode in [BatchMode::Pack, BatchMode::Lanes] {
-            let (wall, outcome) = best_wall(reps, || runner.run_batch_mode(&inputs, mode));
-            assert_eq!(
-                outcome.results,
-                expected,
-                "{example}/{backend}/B={b}/{}: batch results diverge from single runs",
-                mode.name()
-            );
+        for (m, mode) in MODES.into_iter().enumerate() {
+            let wall = median(&mut mode_walls[m]);
+            let outcome = outcomes[m].take().expect("at least one round ran");
             records.push(BenchRecord {
                 example: example.to_string(),
                 backend: backend.clone(),

@@ -39,7 +39,9 @@
 use crate::repr::{ErrorRepr, TypeRepr};
 use bvram::verify::verify_program_basic;
 use bvram::{cost_program, CostReport, Program, StaticCost};
-use nsc_compile::{compile_nsc_with, optimize_checked, Backend, Compiled, OptLevel, VerifyLevel};
+use nsc_compile::{
+    compile_nsc_opts, compile_nsc_with, optimize_checked, Backend, Compiled, OptLevel, VerifyLevel,
+};
 use nsc_core::ast;
 use nsc_core::error::EvalError;
 use nsc_core::types::Type;
@@ -88,6 +90,11 @@ pub struct Artifact {
     /// batch runner evaluates this at actual request lengths to pick a
     /// batching mode; `⊤` bounds fall back to [`Artifact::stat`].
     pub cost: CostReport,
+    /// `map ∘ map` stages source-level fusion collapsed before this
+    /// program was translated (see `nsc_algebra::fuse`); `0` at `O0`
+    /// and for programs with no chained maps.  Surfaced in `nsc bench
+    /// --explain` and the serving metrics snapshot.
+    pub fused_stages: usize,
     dom: TypeRepr,
     cod: TypeRepr,
 }
@@ -97,6 +104,7 @@ impl Artifact {
         Artifact {
             stat: c.stat,
             cost: cost_program(&c.program),
+            fused_stages: c.fused_stages,
             dom: TypeRepr::of(&c.dom),
             cod: TypeRepr::of(&c.cod),
             program: c.program,
@@ -139,13 +147,17 @@ type SharedHook = Arc<dyn Fn(&CacheKey) + Send + Sync>;
 /// Flattening `map(f)` multiplies program size (a `while`-heavy stdlib
 /// function's kernel reaches millions of instructions), and the
 /// optimizer's pass pipeline walks the program several times per round —
-/// tens of seconds of compile latency for a constant-factor run-time
-/// win that a serving path cannot amortize on first request.  The
-/// *single-request* program is always optimized at the requested level;
-/// only an oversized batch kernel skips the pipeline.  Measured with the
-/// `ctime` methodology behind `exp_batch`: at this budget every
-/// scalar-map kernel (the ones pack actually wins on) stays optimized.
-pub const KERNEL_OPT_BUDGET: usize = 1 << 19;
+/// seconds of compile latency for a constant-factor run-time win that a
+/// serving path cannot amortize on first request.  The *single-request*
+/// program is always optimized at the requested level; only an oversized
+/// batch kernel skips the pipeline.  Measured with the `ctime`
+/// methodology behind `exp_batch`: at this budget every golden-example
+/// kernel stays optimized — the largest (`dot_product`, ~745k
+/// instructions at `O0`) optimizes in about a second with the
+/// cross-block passes enabled, shrinking to ~48% of its unoptimized
+/// size — while the multi-million-instruction `while`-heavy stdlib
+/// kernels (which pack loses on anyway) still skip the pipeline.
+pub const KERNEL_OPT_BUDGET: usize = 1 << 20;
 
 /// Verifies a program once at cache insert, before any request can run
 /// it: no structural violations, no use-before-def, no path off the end
@@ -234,10 +246,18 @@ impl CompiledCache {
             }
             let compiled: Result<(Compiled, Compiled), EvalError> = (|| {
                 let single = compile_nsc_with(f, dom, opt)?;
-                // The kernel is lowered unoptimized first so its size can
-                // gate the optimizer (see KERNEL_OPT_BUDGET).
-                let k0 =
-                    compile_nsc_with(&ast::map(f.clone()), &Type::seq(dom.clone()), OptLevel::O0)?;
+                // The kernel is lowered fused but unoptimized first so
+                // its size can gate the optimizer (see
+                // KERNEL_OPT_BUDGET).  Fusion follows the requested opt
+                // level (off at O0), exactly like the single program's
+                // pipeline.
+                let k0 = compile_nsc_opts(
+                    &ast::map(f.clone()),
+                    &Type::seq(dom.clone()),
+                    OptLevel::O0,
+                    VerifyLevel::from_env(),
+                    opt != OptLevel::O0,
+                )?;
                 let kernel = if opt != OptLevel::O0 && k0.program.instrs.len() <= KERNEL_OPT_BUDGET
                 {
                     // Kernel optimization honors `NSC_VERIFY` the same
@@ -245,7 +265,9 @@ impl CompiledCache {
                     // validation, with the failing pass named.
                     let p = optimize_checked(k0.program, opt, VerifyLevel::from_env(), "codegen")
                         .map_err(|e| EvalError::MachineFault(e.to_string()))?;
-                    Compiled::from_parts(p, k0.dom, k0.cod)
+                    let mut c = Compiled::from_parts(p, k0.dom, k0.cod);
+                    c.fused_stages = k0.fused_stages;
+                    c
                 } else {
                     k0
                 };

@@ -73,6 +73,38 @@ pub fn halve_all() -> Func {
     ))
 }
 
+/// A three-stage `map` chain (`(+1) ∘ (x·x) ∘ (+2)` elementwise) the
+/// source-level fusion rewrite collapses to one stage — the
+/// `exp_fusion` differential workload.  Every stage materializes an
+/// intermediate sequence unfused, so the Map-Lemma encoding is paid
+/// three times instead of once.
+pub fn chained_maps() -> Func {
+    let add = |k: u64| a::lam("x", a::add(a::var("x"), a::nat(k)));
+    let sq = a::lam("x", a::mul(a::var("x"), a::var("x")));
+    a::lam(
+        "v",
+        a::app(
+            a::map(add(1)),
+            a::app(a::map(sq), a::app(a::map(add(2)), a::var("v"))),
+        ),
+    )
+}
+
+/// Like [`chained_maps`], but the middle stage divides by the element:
+/// `Ω` exactly when the input contains a zero — the fault-classification
+/// side of the fusion differential.
+pub fn chained_maps_faulting() -> Func {
+    let add = |k: u64| a::lam("x", a::add(a::var("x"), a::nat(k)));
+    let inv = a::lam("x", a::div(a::nat(100), a::var("x")));
+    a::lam(
+        "v",
+        a::app(
+            a::map(add(1)),
+            a::app(a::map(inv), a::app(a::map(add(0)), a::var("v"))),
+        ),
+    )
+}
+
 /// The shared `EXP-T71`/`EXP-OPT`/`EXP-BATCH` suite over `[N]`.
 pub fn suite() -> Vec<(&'static str, Func)> {
     vec![

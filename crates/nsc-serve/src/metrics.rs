@@ -196,12 +196,17 @@ impl Metrics {
         m.latency_ns.record(latency_ns);
     }
 
-    /// A point-in-time copy of every counter.
-    pub fn snapshot(&self, function: &str, backend: &'static str) -> Snapshot {
+    /// A point-in-time copy of every counter.  `fused_stages` is the
+    /// shard's compile-time property (how many `map ∘ map` stages source
+    /// fusion collapsed in its pack kernel), passed through so the
+    /// metrics reply reports compile-time and run-time batching facts
+    /// together.
+    pub fn snapshot(&self, function: &str, backend: &'static str, fused_stages: usize) -> Snapshot {
         let m = self.inner.lock().unwrap();
         Snapshot {
             function: function.to_string(),
             backend,
+            fused_stages,
             queue_depth: self.depth.load(Ordering::Relaxed),
             submitted: m.submitted,
             rejected: m.rejected,
@@ -229,6 +234,10 @@ pub struct Snapshot {
     pub function: String,
     /// Backend the shard executes on (`"seq"`/`"par"`).
     pub backend: &'static str,
+    /// `map ∘ map` stages source fusion collapsed in the shard's pack
+    /// kernel (0 until the batcher finishes compiling, and for functions
+    /// with no chained maps).
+    pub fused_stages: usize,
     /// Requests admitted but not yet answered.
     pub queue_depth: usize,
     /// Requests accepted into the queue, ever.
@@ -276,6 +285,7 @@ impl Snapshot {
         let mut m = BTreeMap::new();
         m.insert("fn".into(), Json::Str(self.function.clone()));
         m.insert("backend".into(), Json::Str(self.backend.into()));
+        m.insert("fused_stages".into(), Json::Num(self.fused_stages as f64));
         m.insert("queue_depth".into(), Json::Num(self.queue_depth as f64));
         m.insert("submitted".into(), Json::Num(self.submitted as f64));
         m.insert("rejected".into(), Json::Num(self.rejected as f64));
@@ -349,7 +359,8 @@ mod tests {
         m.on_batch(2, Some(nsc_runtime::BatchMode::Pack), true, true);
         m.on_reply(1000, false);
         m.on_reply(2000, true);
-        let s = m.snapshot("f", "seq");
+        let s = m.snapshot("f", "seq", 3);
+        assert_eq!(s.fused_stages, 3);
         assert_eq!(s.submitted, 2);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.completed, 2);

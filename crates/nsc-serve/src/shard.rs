@@ -47,7 +47,7 @@ use crate::{ServeConfig, ServeError};
 use nsc_core::parse::{parse_func, parse_type, parse_value};
 use nsc_runtime::repr::ErrorRepr;
 use nsc_runtime::{BatchRunner, CompiledCache};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -83,6 +83,10 @@ pub struct Shard {
     handle: Mutex<Option<JoinHandle<()>>>,
     function: String,
     backend_name: &'static str,
+    /// `map ∘ map` stages source fusion collapsed in this shard's pack
+    /// kernel — written once by the batcher after it compiles, read by
+    /// [`Shard::snapshot`] (0 until compilation finishes or if it fails).
+    fused_stages: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for Shard {
@@ -113,12 +117,24 @@ impl Shard {
     ) -> Shard {
         let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_cap.max(1));
         let metrics = Arc::new(Metrics::default());
+        let fused_stages = Arc::new(AtomicUsize::new(0));
         let thread_cfg = cfg.clone();
         let thread_metrics = Arc::clone(&metrics);
+        let thread_fused = Arc::clone(&fused_stages);
         let handle = std::thread::Builder::new()
             .name(format!("nsc-serve/{function_name}:{}", cfg.backend.name()))
             .stack_size(BATCHER_STACK)
-            .spawn(move || batcher(rx, fn_source, dom_source, thread_cfg, cache, thread_metrics))
+            .spawn(move || {
+                batcher(
+                    rx,
+                    fn_source,
+                    dom_source,
+                    thread_cfg,
+                    cache,
+                    thread_metrics,
+                    thread_fused,
+                )
+            })
             .expect("spawn batcher thread");
         Shard {
             tx: Mutex::new(Some(tx)),
@@ -127,6 +143,7 @@ impl Shard {
             handle: Mutex::new(Some(handle)),
             function: function_name.to_string(),
             backend_name: cfg.backend.name(),
+            fused_stages,
         }
     }
 
@@ -168,7 +185,11 @@ impl Shard {
 
     /// Point-in-time metrics.
     pub fn snapshot(&self) -> crate::Snapshot {
-        self.metrics.snapshot(&self.function, self.backend_name)
+        self.metrics.snapshot(
+            &self.function,
+            self.backend_name,
+            self.fused_stages.load(Ordering::Relaxed),
+        )
     }
 
     /// Closes admission, lets the batcher drain every queued request,
@@ -189,6 +210,7 @@ fn batcher(
     cfg: ServeConfig,
     cache: Arc<CompiledCache>,
     metrics: Arc<Metrics>,
+    fused_stages: Arc<AtomicUsize>,
 ) {
     let runner = (|| -> Result<BatchRunner, ServeError> {
         let f = parse_func(&fn_source)
@@ -199,7 +221,10 @@ fn batcher(
             .map_err(|e| ServeError::Compile(e.to_string()))
     })();
     let runner = match runner {
-        Ok(r) => r,
+        Ok(r) => {
+            fused_stages.store(r.cached().batch.fused_stages, Ordering::Relaxed);
+            r
+        }
         Err(e) => {
             // The compilation failure is this shard's permanent answer.
             while let Ok(job) = rx.recv() {

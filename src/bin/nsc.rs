@@ -74,6 +74,11 @@ OPTIONS:
     --explain           (bench) print the cost model's mode choice per batch
                         size: predicted per-request W' (the symbolic bound at
                         the actual input lengths) next to the measured W'
+    --explain-fusion    (compile) print what source-level map fusion did to
+                        the entry: how many map∘map stages collapsed and,
+                        for each seam that did not, why it was blocked
+                        (fusion applies at --opt 1; --opt 0 compiles the
+                        program exactly as written)
     --addr <host:port>  (serve) listen for TCP connections; a client line
                         {\"cmd\": \"shutdown\"} drains and stops the server
     --stdin             (serve) read requests from stdin, answer on stdout,
@@ -106,6 +111,7 @@ struct Opts {
     queue_cap: usize,
     verify: VerifyLevel,
     explain: bool,
+    explain_fusion: bool,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
@@ -135,13 +141,14 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
         queue_cap: 1024,
         verify: VerifyLevel::from_env(),
         explain: false,
+        explain_fusion: false,
     };
     // Silently dropping a flag hides typos; each subcommand accepts only
     // the options it actually reads.
     let allowed: &[&str] = match opts.cmd.as_str() {
         "check" => &["--verify"],
         "lint" => &[],
-        "compile" => &["--entry", "--opt", "--verify"],
+        "compile" => &["--entry", "--opt", "--verify", "--explain-fusion"],
         "cost" => &["--entry", "--opt"],
         "bench" => &[
             "--entry",
@@ -216,6 +223,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Opts, String> {
             }
             "--json" => opts.json = Some(val("--json")?),
             "--explain" => opts.explain = true,
+            "--explain-fusion" => opts.explain_fusion = true,
             "--addr" => opts.addr = Some(val("--addr")?),
             "--stdin" => opts.stdin = true,
             "--max-batch" => {
@@ -380,6 +388,29 @@ fn cmd_compile(opts: &Opts, module: &Module) -> Result<(), String> {
         "-- {} : {} -> {} (opt {:?})",
         entry, def.dom, def.cod, opts.opt
     );
+    // `--explain-fusion`: what the source-level rewrite did to this
+    // entry.  `fuse_func` is re-run here (it is pure and cheap) so the
+    // report is available even at --opt 0, where compilation skips it.
+    if opts.explain_fusion {
+        let fused = nsc::algebra::fuse::fuse_func(&pure);
+        let _ = writeln!(
+            out,
+            "-- fusion: {} map∘map stage(s) collapsed",
+            fused.stages
+        );
+        for reason in &fused.blocked {
+            let _ = writeln!(out, "-- fusion blocked: {reason}");
+        }
+        if fused.stages == 0 && fused.blocked.is_empty() {
+            let _ = writeln!(out, "-- fusion: no map chains in `{entry}`");
+        }
+        if opts.opt == OptLevel::O0 {
+            let _ = writeln!(
+                out,
+                "-- fusion: not applied below (--opt 0 compiles the program as written)"
+            );
+        }
+    }
     let _ = write!(out, "{}", compiled.program);
     Ok(())
 }
@@ -658,9 +689,10 @@ fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {
             .map_err(|e| format!("compiling `{entry}`: {e}"))?;
         records.extend(measure_batches(&entry, &runner, &input, &batches, 5));
         if opts.explain {
+            let fused = runner.cached().batch.fused_stages;
             for &b in &batches {
                 let inputs = vec![input.clone(); b];
-                plans.push((backend.name(), b, runner.plan(&inputs)));
+                plans.push((backend.name(), b, runner.plan(&inputs), fused));
             }
         }
     }
@@ -679,7 +711,7 @@ fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {
             r.backend, r.batch, r.mode, r.wall_ns, r.t_prime, r.w_prime, r.speedup_vs_sequential
         );
     }
-    for (backend, b, plan) in &plans {
+    for (backend, b, plan, fused_stages) in &plans {
         let predicted = match plan.predicted_work {
             Some(w) => w.to_string(),
             None => "⊤ (size heuristic)".to_string(),
@@ -693,7 +725,7 @@ fn cmd_bench(opts: &Opts, module: &Module) -> Result<(), String> {
         let _ = writeln!(
             out,
             "explain {backend} B={b}: chose {} (predicted per-request W' {predicted}, \
-             measured {measured})",
+             measured {measured}, fused_stages {fused_stages})",
             plan.mode.name()
         );
     }

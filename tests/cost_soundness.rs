@@ -185,6 +185,84 @@ fn golden_example_bounds_are_sound_and_finite() {
     });
 }
 
+/// Old-vs-new degree comparison: going from the unoptimized, unfused
+/// `O0` lowering to the full `O1` pipeline (fusion + the BVRAM pass
+/// stack) may tighten a certified bound but must never raise its
+/// polynomial degree or collapse it to `⊤` — a rewrite that turns an
+/// `O(n)` certificate into `O(n²)` (or loses it entirely) would silently
+/// corrupt the pack-vs-lanes plan selection that reads these bounds.
+/// Swept over the golden examples and the runnable stdlib roster, on
+/// both `T'` and `W'`, checking total degree and per-symbol degrees.
+#[test]
+fn optimization_never_raises_certified_degrees() {
+    on_big_stack(|| {
+        let mut programs: Vec<(String, nsc_core::Func, Type)> = typed_suite()
+            .into_iter()
+            .map(|(n, f, d)| (n.to_string(), f, d))
+            .collect();
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+        for entry in std::fs::read_dir(dir).expect("examples/ directory") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_none_or(|e| e != "nsc") {
+                continue;
+            }
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("read example");
+            let module = parse_module(&src).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+            let dom = module
+                .get("main")
+                .expect("examples define main")
+                .dom
+                .clone();
+            let pure = module
+                .inlined("main")
+                .unwrap_or_else(|e| panic!("inlining {name}: {e}"));
+            programs.push((name, pure, dom));
+        }
+        let mut compared = 0usize;
+        for (name, f, dom) in &programs {
+            let old = compile_nsc_with(f, dom, OptLevel::O0)
+                .unwrap_or_else(|e| panic!("compiling {name} at O0: {e}"));
+            let new = compile_nsc_with(f, dom, OptLevel::O1)
+                .unwrap_or_else(|e| panic!("compiling {name} at O1: {e}"));
+            let r_old = cost_program(&old.program);
+            let r_new = cost_program(&new.program);
+            for (what, b_old, b_new) in [
+                ("T'", &r_old.time, &r_new.time),
+                ("W'", &r_old.work, &r_new.work),
+            ] {
+                let Some(p_old) = b_old.as_poly() else {
+                    continue; // O0 already ⊤: nothing to preserve.
+                };
+                let p_new = b_new.as_poly().unwrap_or_else(|| {
+                    panic!("{name}: {what} was {p_old} at O0 but ⊤ at O1:\n{b_new}")
+                });
+                compared += 1;
+                assert!(
+                    p_new.degree() <= p_old.degree(),
+                    "{name}: optimization raised the {what} degree: \
+                     {p_old} (deg {}) -> {p_new} (deg {})",
+                    p_old.degree(),
+                    p_new.degree()
+                );
+                for i in 0..r_old.n_syms.min(r_new.n_syms) {
+                    assert!(
+                        p_new.degree_in(i) <= p_old.degree_in(i),
+                        "{name}: optimization raised the {what} degree in n{i}: \
+                         {p_old} -> {p_new}"
+                    );
+                }
+            }
+        }
+        // The comparison must have real coverage: most roster entries
+        // carry finite O0 certificates on at least one component.
+        assert!(
+            compared >= 20,
+            "only {compared} finite old-vs-new degree comparisons ran"
+        );
+    });
+}
+
 /// Fuzz-generated straight-line programs: the analyzer's per-instruction
 /// transfer functions (append growth, route output bounds, select's
 /// data dependence) must stay sound on programs nobody hand-shaped.

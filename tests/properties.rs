@@ -152,6 +152,61 @@ fn gen_func(w: &mut Words, depth: u64) -> nsc::core::Func {
     }
 }
 
+/// A random scalar body over `x : N` built only from `N → N → N`
+/// operators, so a `map` chain of these always type checks end to end —
+/// `div`/`mod` keep genuine `Ω` cases (division by zero) in play.
+fn gen_scalar_body(w: &mut Words, depth: u64) -> nsc::core::Term {
+    use nsc::core::ast::*;
+    if depth == 0 {
+        return if w.pick(2) == 0 {
+            var("x")
+        } else {
+            nat(w.pick(9))
+        };
+    }
+    let d = depth - 1;
+    match w.pick(7) {
+        0 => var("x"),
+        1 => nat(w.pick(9)),
+        2 => add(gen_scalar_body(w, d), gen_scalar_body(w, d)),
+        3 => mul(gen_scalar_body(w, d), gen_scalar_body(w, d)),
+        4 => arith(ArithOp::Div, gen_scalar_body(w, d), gen_scalar_body(w, d)),
+        5 => arith(ArithOp::Monus, gen_scalar_body(w, d), gen_scalar_body(w, d)),
+        _ => arith(ArithOp::Max, gen_scalar_body(w, d), gen_scalar_body(w, d)),
+    }
+}
+
+/// Runs a compiled program under a step limit, mapping machine faults
+/// onto NSC error semantics exactly like `run_compiled_on`.  `None`
+/// means the limit tripped — the program may genuinely diverge (fuzz
+/// functions can type check a constant-true `while`), so the caller
+/// must skip the comparison rather than decide it.
+fn run_bounded(
+    c: &nsc::compile::Compiled,
+    arg: &Value,
+    backend: nsc::compile::Backend,
+) -> Option<Result<Value, nsc::core::EvalError>> {
+    use nsc::compile::{decode_result, encode_arg, eval_error_of, Backend};
+    use nsc::machine::{Machine, MachineError, ParMachine};
+    let regs = match encode_arg(arg, &c.dom) {
+        Ok(r) => r,
+        Err(e) => return Some(Err(e)),
+    };
+    let out = match backend {
+        Backend::Seq => Machine::new(c.program.n_regs)
+            .with_step_limit(1 << 22)
+            .run_owned(&c.program, regs),
+        Backend::Par => ParMachine::new(c.program.n_regs)
+            .with_step_limit(1 << 22)
+            .run_owned(&c.program, regs),
+    };
+    match out {
+        Err(MachineError::StepLimit) => None,
+        Err(e) => Some(Err(eval_error_of(e))),
+        Ok(out) => Some(decode_result(&out.outputs, &c.cod)),
+    }
+}
+
 thread_local! {
     /// The shared suite with each function compiled down to the BVRAM
     /// once per thread, not once per property case. (`Func` holds `Rc`s,
@@ -358,6 +413,100 @@ proptest! {
                 after.uninit_reads.is_empty(),
                 "optimizer introduced uninit reads:\n{after}\n{prog}\n{opt}"
             );
+        }
+    }
+
+    /// Source-level `map` fusion is invisible to fuzz functions: the
+    /// fused and unfused pipelines agree on whether a function compiles
+    /// at all, and where both compile they agree bit-for-bit on both
+    /// backends — including whether a run faults as `Ω` or as a machine
+    /// fault.  A step-limit trip on either side skips the case (fuzz
+    /// functions can type check a genuinely divergent `while`).
+    #[test]
+    fn prop_fusion_preserves_fuzz_semantics(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..40),
+        depth in 1u64..4,
+        xs in proptest::collection::vec(0u64..50, 0..10),
+    ) {
+        use nsc::compile::{compile_nsc_unfused, compile_nsc_verified, Backend, OptLevel, VerifyLevel};
+        let f = gen_func(&mut Words { ws: &words, i: 0 }, depth);
+        let dom = Type::seq(Type::Nat);
+        let fused = compile_nsc_verified(&f, &dom, OptLevel::O1, VerifyLevel::Full);
+        let unfused = compile_nsc_unfused(&f, &dom, OptLevel::O1, VerifyLevel::Full);
+        prop_assert_eq!(
+            fused.is_ok(), unfused.is_ok(),
+            "fusion changed compilability of {}: fused {:?} vs unfused {:?}",
+            f, fused.as_ref().err(), unfused.as_ref().err()
+        );
+        if let (Ok(cf), Ok(cu)) = (fused, unfused) {
+            let arg = Value::nat_seq(xs.iter().copied());
+            for backend in [Backend::Seq, Backend::Par] {
+                if let (Some(rf), Some(ru)) =
+                    (run_bounded(&cf, &arg, backend), run_bounded(&cu, &arg, backend))
+                {
+                    prop_assert_eq!(
+                        rf, ru,
+                        "fused and unfused runs diverge on {} ({} backend)",
+                        f, backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A chain of `k` `map`s over random total scalar bodies fuses to a
+    /// single stage (`fused_stages = k-1`, and `0` on the unfused
+    /// pipeline) and the fused kernel agrees with both the unfused one
+    /// and the NSC evaluator on every input — division-by-zero faults
+    /// classify identically as `Ω` everywhere.
+    #[test]
+    fn prop_map_chains_fuse_and_agree(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..20),
+        k in 2u64..5,
+        xs in proptest::collection::vec(0u64..20, 0..10),
+    ) {
+        use nsc::compile::{
+            compile_nsc_unfused, compile_nsc_verified, run_compiled, run_compiled_on,
+            Backend, OptLevel, VerifyLevel,
+        };
+        use nsc::core::ast as a;
+        let mut w = Words { ws: &words, i: 0 };
+        let mut body = a::var("v");
+        for _ in 0..k {
+            body = a::app(a::map(a::lam("x", gen_scalar_body(&mut w, 3))), body);
+        }
+        let f = a::lam("v", body);
+        let dom = Type::seq(Type::Nat);
+        let cf = compile_nsc_verified(&f, &dom, OptLevel::O1, VerifyLevel::Full).unwrap();
+        let cu = compile_nsc_unfused(&f, &dom, OptLevel::O1, VerifyLevel::Full).unwrap();
+        prop_assert_eq!(cf.fused_stages, (k - 1) as usize, "chain did not fully fuse: {}", f);
+        prop_assert_eq!(cu.fused_stages, 0usize);
+        let arg = Value::nat_seq(xs.iter().copied());
+        for backend in [Backend::Seq, Backend::Par] {
+            let rf = run_compiled_on(&cf, &arg, backend).map(|p| p.0);
+            let ru = run_compiled_on(&cu, &arg, backend).map(|p| p.0);
+            prop_assert_eq!(
+                rf, ru,
+                "fused and unfused map chains diverge on {} ({} backend)",
+                f, backend.name()
+            );
+        }
+        // The evaluator keeps fine-grained fault causes (`DivisionByZero`)
+        // that the machine legitimately coarsens to `Ω`; what fusion must
+        // preserve is success vs source-level fault, never a machine fault.
+        let want = nsc::core::eval::apply_func(&f, arg.clone()).map(|p| p.0);
+        let got = run_compiled(&cf, &arg).map(|p| p.0);
+        match (&got, &want) {
+            (Ok(g), Ok(v)) => prop_assert_eq!(g, v, "fused chain disagrees with the evaluator on {}", f),
+            (Err(nsc::core::EvalError::Omega), Err(e)) => prop_assert!(
+                !matches!(e, nsc::core::EvalError::MachineFault(_)),
+                "evaluator reported a machine fault on {}: {:?}", f, e
+            ),
+            _ => prop_assert!(
+                false,
+                "fused chain fault behavior diverges from the evaluator on {}: {:?} vs {:?}",
+                f, got, want
+            ),
         }
     }
 
